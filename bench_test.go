@@ -1,0 +1,137 @@
+// Benchmarks regenerating every table and figure of the paper (one bench per
+// artifact) plus codec micro-benchmarks. The experiment benches run the same
+// code as `go run ./cmd/experiments`; each iteration regenerates the
+// artifact, so run them with a bounded -benchtime, e.g.:
+//
+//	go test -bench=BenchmarkFig5 -benchtime=1x
+package repro_test
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/frame"
+	"repro/internal/quant"
+	"repro/internal/tensorgen"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Ctx
+)
+
+// benchCtx returns the shared quick-mode experiment context; reference-model
+// training happens once and is excluded from timings via b.ResetTimer.
+func benchCtx(b *testing.B) *experiments.Ctx {
+	b.Helper()
+	ctxOnce.Do(func() {
+		ctx = experiments.NewCtx(true)
+	})
+	return ctx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	c := benchCtx(b)
+	// Warm the shared caches (corpus, models) outside the timed region.
+	c.Corpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := r.Run(c)
+		t.Render(io.Discard)
+	}
+}
+
+// One benchmark per paper artifact.
+func BenchmarkFig2PipelineAblation(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3DCTOutliers(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4IntraWalkthrough(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5WeightCompression(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkTable1LowBit70B(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig6CodecSelection(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkTable2SupportMatrix(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFig7OtherFamilies(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8KVCache(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkFig9PipelineTraining(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10DataParallel(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11TrainedQuality(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12DieArea(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkTable3Energy(b *testing.B)          { benchExperiment(b, "table3") }
+func BenchmarkFig14BaselineGrid(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15SystemAreaEnergy(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16ClusterModel(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkThroughputMeasurement(b *testing.B) { benchExperiment(b, "throughput") }
+
+// Codec micro-benchmarks: tensor-side encode/decode throughput, the §6.1
+// quantity the hardware engines bound at 1100/1300 MB/s.
+func BenchmarkEncodeThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	w := tensorgen.Weights(rng, n, n)
+	pix, _, _ := quant.ToUint8(w)
+	planes := frame.FromMatrix(pix, n, n, 1024, 1024)
+	b.SetBytes(int64(n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := codec.Encode(planes, 26, codec.HEVC, codec.AllTools); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 256
+	w := tensorgen.Weights(rng, n, n)
+	pix, _, _ := quant.ToUint8(w)
+	planes := frame.FromMatrix(pix, n, n, 1024, 1024)
+	stream, _, err := codec.Encode(planes, 26, codec.HEVC, codec.AllTools)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTensorRoundTrip measures the full float path: 8-bit mapping,
+// encode, decode, dequantize.
+func BenchmarkTensorRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	t := core.FromSlice(n, n, tensorgen.Weights(rng, n, n))
+	o := core.DefaultOptions()
+	b.SetBytes(int64(n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Roundtrip(t, 26); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRateControl measures the cost of the fractional-bitrate search.
+func BenchmarkRateControl(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 128
+	t := core.FromSlice(n, n, tensorgen.Weights(rng, n, n))
+	o := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.EncodeToBitrate(t, 2.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's tables and figures on the
+// reproduction substrate. Run with -list to see experiment IDs, -exp to run
+// one, or no flags to run the full suite.
+//
+//	go run ./cmd/experiments -exp fig5
+//	go run ./cmd/experiments -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		quick = flag.Bool("quick", false, "reduced steps and grids (~minutes instead of ~an hour)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-11s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	ctx := experiments.NewCtx(*quick)
+	runners := experiments.All()
+	if *exp != "" {
+		var picked []experiments.Runner
+		for _, id := range strings.Split(*exp, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			picked = append(picked, r)
+		}
+		runners = picked
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		t := r.Run(ctx)
+		t.Render(os.Stdout)
+		fmt.Printf("(%s took %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

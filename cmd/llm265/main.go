@@ -1,0 +1,166 @@
+// Command llm265 is the tensor-codec CLI: it encodes raw float32 tensors to
+// .l265 containers and decodes them back, with fractional-bitrate or
+// MSE-constrained rate control — the command-line face of the core library.
+//
+//	llm265 encode -rows 4096 -cols 4096 -bits 2.9 -in w.f32 -out w.l265
+//	llm265 decode -in w.l265 -out w_rec.f32
+//	llm265 info   -in w.l265
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "encode":
+		encodeCmd(os.Args[2:])
+	case "decode":
+		decodeCmd(os.Args[2:])
+	case "info":
+		infoCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llm265:", err)
+	os.Exit(1)
+}
+
+func profileByName(name string) codec.Profile {
+	switch name {
+	case "h264":
+		return codec.H264
+	case "h265":
+		return codec.HEVC
+	case "av1":
+		return codec.AV1
+	}
+	fatal(fmt.Errorf("unknown profile %q (h264|h265|av1)", name))
+	panic("unreachable")
+}
+
+func encodeCmd(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "input file of little-endian float32 values")
+		out     = fs.String("out", "", "output .l265 container")
+		rows    = fs.Int("rows", 0, "tensor rows")
+		cols    = fs.Int("cols", 0, "tensor cols")
+		bits    = fs.Float64("bits", 0, "target bits per value (fractional allowed)")
+		mse     = fs.Float64("mse", 0, "alternative: max MSE in the value domain")
+		qp      = fs.Int("qp", -1, "alternative: fixed quantization parameter 0..51")
+		profile = fs.String("profile", "h265", "codec profile: h264|h265|av1")
+		perRow  = fs.Bool("perrow", false, "per-row 8-bit mapping (outlier-heavy tensors)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" || *rows <= 0 || *cols <= 0 {
+		fatal(fmt.Errorf("encode requires -in, -out, -rows, -cols"))
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(raw) != *rows**cols*4 {
+		fatal(fmt.Errorf("input is %d bytes, want %d (rows*cols*4)", len(raw), *rows**cols*4))
+	}
+	data := make([]float32, *rows**cols)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	t := core.FromSlice(*rows, *cols, data)
+
+	opts := core.DefaultOptions()
+	opts.Profile = profileByName(*profile)
+	opts.PerRowQuant = *perRow
+
+	var enc *core.Encoded
+	switch {
+	case *bits > 0:
+		enc, err = opts.EncodeToBitrate(t, *bits)
+	case *mse > 0:
+		enc, _, err = opts.EncodeToMSE(t, *mse)
+	case *qp >= 0:
+		enc, err = opts.Encode(t, *qp)
+	default:
+		fatal(fmt.Errorf("one of -bits, -mse or -qp is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, enc.Marshal(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("encoded %dx%d at %.3f bits/value (QP %d) -> %s (%.1fx vs FP16)\n",
+		*rows, *cols, enc.BitsPerValue(), enc.QP, *out, 16/enc.BitsPerValue())
+}
+
+func decodeCmd(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	var (
+		in  = fs.String("in", "", "input .l265 container")
+		out = fs.String("out", "", "output float32 file")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("decode requires -in and -out"))
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := core.UnmarshalEncoded(blob)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := core.DefaultOptions().Decode(enc)
+	if err != nil {
+		fatal(err)
+	}
+	raw := make([]byte, len(t.Data)*4)
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("decoded %dx%d -> %s\n", t.Rows, t.Cols, *out)
+}
+
+func infoCmd(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input .l265 container")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("info requires -in"))
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := core.UnmarshalEncoded(blob)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tensor:      %d layer(s) of %dx%d\n", enc.Layers, enc.Rows, enc.Cols)
+	fmt.Printf("qp:          %d\n", enc.QP)
+	fmt.Printf("per-row map: %v\n", enc.PerRow)
+	fmt.Printf("size:        %d bytes (%.3f bits/value)\n", enc.SizeBits()/8, enc.BitsPerValue())
+}

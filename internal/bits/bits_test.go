@@ -1,0 +1,219 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBitRoundTrip(t *testing.T) {
+	w := NewWriter()
+	pattern := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsReadBits(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n uint
+	}{
+		{0, 1}, {1, 1}, {0xAB, 8}, {0x1234, 16}, {0, 0},
+		{0xFFFFFFFFFFFFFFFF, 64}, {0x7, 3}, {0x5, 5},
+	}
+	w := NewWriter()
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		mask := ^uint64(0)
+		if c.n < 64 {
+			mask = 1<<c.n - 1
+		}
+		if got != c.v&mask {
+			t.Fatalf("case %d: got %#x want %#x", i, got, c.v&mask)
+		}
+	}
+}
+
+func TestExpGolombKnownValues(t *testing.T) {
+	// Standard ue(v) codes: 0->1, 1->010, 2->011, 3->00100 ...
+	w := NewWriter()
+	w.WriteUE(0)
+	w.WriteUE(1)
+	w.WriteUE(2)
+	w.WriteUE(3)
+	r := NewReader(w.Bytes())
+	for i, want := range []uint32{0, 1, 2, 3} {
+		got, err := r.ReadUE()
+		if err != nil {
+			t.Fatalf("ue %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("ue %d: got %d want %d", i, got, want)
+		}
+	}
+	if UELen(0) != 1 || UELen(1) != 3 || UELen(2) != 3 || UELen(3) != 5 {
+		t.Fatalf("UELen wrong: %d %d %d %d", UELen(0), UELen(1), UELen(2), UELen(3))
+	}
+}
+
+func TestUERoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		v %= 1 << 24
+		w := NewWriter()
+		w.WriteUE(v)
+		if w.BitLen() != UELen(v) {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		got, err := r.ReadUE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSERoundTripProperty(t *testing.T) {
+	f := func(v int32) bool {
+		v %= 1 << 22
+		w := NewWriter()
+		w.WriteSE(v)
+		if w.BitLen() != SELen(v) {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		got, err := r.ReadSE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type op struct {
+		kind int
+		v    uint64
+		n    uint
+	}
+	var ops []op
+	w := NewWriter()
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			b := uint64(rng.Intn(2))
+			ops = append(ops, op{0, b, 1})
+			w.WriteBit(int(b))
+		case 1:
+			n := uint(rng.Intn(32) + 1)
+			v := rng.Uint64() & (1<<n - 1)
+			ops = append(ops, op{1, v, n})
+			w.WriteBits(v, n)
+		case 2:
+			v := uint64(rng.Intn(1 << 16))
+			ops = append(ops, op{2, v, 0})
+			w.WriteUE(uint32(v))
+		case 3:
+			v := int64(rng.Intn(1<<15) - 1<<14)
+			ops = append(ops, op{3, uint64(v), 0})
+			w.WriteSE(int32(v))
+		}
+	}
+	r := NewReader(w.Bytes())
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			b, err := r.ReadBit()
+			if err != nil || uint64(b) != o.v {
+				t.Fatalf("op %d bit: got %d err %v want %d", i, b, err, o.v)
+			}
+		case 1:
+			v, err := r.ReadBits(o.n)
+			if err != nil || v != o.v {
+				t.Fatalf("op %d bits: got %d err %v want %d", i, v, err, o.v)
+			}
+		case 2:
+			v, err := r.ReadUE()
+			if err != nil || uint64(v) != o.v {
+				t.Fatalf("op %d ue: got %d err %v want %d", i, v, err, o.v)
+			}
+		case 3:
+			v, err := r.ReadSE()
+			if err != nil || int64(v) != int64(o.v) {
+				t.Fatalf("op %d se: got %d err %v want %d", i, v, err, int64(o.v))
+			}
+		}
+	}
+}
+
+func TestReaderOutOfData(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfData {
+		t.Fatalf("want ErrOutOfData, got %v", err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.Align()
+	if w.BitLen() != 8 {
+		t.Fatalf("writer align: bitlen %d", w.BitLen())
+	}
+	w.WriteBits(0xCD, 8)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("prefix mismatch: %b", v)
+	}
+	r.Align()
+	if v, _ := r.ReadBits(8); v != 0xCD {
+		t.Fatalf("aligned read: %#x", v)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatalf("reset left %d bits", w.BitLen())
+	}
+	w.WriteUE(5)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadUE(); v != 5 {
+		t.Fatalf("post-reset read: %d", v)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0})
+	if r.Remaining() != 24 {
+		t.Fatalf("remaining %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 19 || r.BitPos() != 5 {
+		t.Fatalf("remaining %d pos %d", r.Remaining(), r.BitPos())
+	}
+}

@@ -1,0 +1,246 @@
+// Package cabac implements a context-adaptive binary arithmetic coder in the
+// style of H.264/H.265 CABAC.
+//
+// Symbols are binarized into bins; each bin is coded either with an adaptive
+// context (an 11-bit probability state that tracks the local bin statistics)
+// or in bypass mode (fixed 1/2 probability, used for sign bits and suffixes
+// whose distribution is near uniform). The arithmetic engine is a
+// carry-propagating range coder, which is bit-exact between encoder and
+// decoder and has the same asymptotic efficiency as the HEVC M-coder.
+//
+// The package also exposes per-bin rate estimates (Context.Cost) so that the
+// encoder's rate-distortion search can price candidate decisions without
+// running the arithmetic engine.
+package cabac
+
+import "math"
+
+const (
+	probBits  = 11
+	probMax   = 1 << probBits // 2048
+	probInit  = probMax / 2
+	adaptRate = 5 // probability update shift; smaller adapts faster
+
+	topValue = 1 << 24
+)
+
+// costScale is the fixed-point scale of bin cost estimates: costs are in
+// units of 1/costScale bits.
+const costScale = 256
+
+// costTable[p] is the cost, in 1/costScale bits, of coding a zero bin with
+// probability state p (probability of zero = p/probMax).
+var costTable [probMax + 1]uint32
+
+func init() {
+	for p := 1; p < probMax; p++ {
+		costTable[p] = uint32(-math.Log2(float64(p)/probMax)*costScale + 0.5)
+	}
+	// Guard rails for the (unreachable in practice) extremes.
+	costTable[0] = costTable[1]
+	costTable[probMax] = 0
+}
+
+// Context is an adaptive binary probability model. The zero value is NOT
+// ready for use; call Init or create contexts with NewContext.
+type Context struct {
+	p uint16 // probability of bin==0, in [1, probMax-1]
+}
+
+// NewContext returns a context initialized to probability-of-zero p0 (0..1).
+func NewContext(p0 float64) Context {
+	p := uint16(p0*probMax + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	if p > probMax-1 {
+		p = probMax - 1
+	}
+	return Context{p: p}
+}
+
+// Init resets the context to the equiprobable state.
+func (c *Context) Init() { c.p = probInit }
+
+// Prob0 reports the context's current probability of a zero bin.
+func (c *Context) Prob0() float64 { return float64(c.p) / probMax }
+
+// Cost reports the estimated cost, in 1/256 bit units, of coding bin with
+// this context in its current state. It does not update the context.
+func (c *Context) Cost(bin int) uint32 {
+	if bin == 0 {
+		return costTable[c.p]
+	}
+	return costTable[probMax-uint32(c.p)]
+}
+
+func (c *Context) update(bin int) {
+	if bin == 0 {
+		c.p += (probMax - c.p) >> adaptRate
+	} else {
+		c.p -= c.p >> adaptRate
+	}
+}
+
+// BypassCost is the cost of a bypass bin in 1/256 bit units (exactly 1 bit).
+const BypassCost = costScale
+
+// Encoder is a binary arithmetic encoder.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+	started   bool
+}
+
+// NewEncoder returns a ready Encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cache: 0, cacheSize: 1}
+}
+
+// Reset returns the encoder to its initial state, discarding output.
+func (e *Encoder) Reset() {
+	e.low, e.rng = 0, 0xFFFFFFFF
+	e.cache, e.cacheSize = 0, 1
+	e.out = e.out[:0]
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		for ; e.cacheSize > 0; e.cacheSize-- {
+			e.out = append(e.out, e.cache+carry)
+			e.cache = 0xFF
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = e.low << 8 & 0xFFFFFFFF
+}
+
+// EncodeBit codes one bin with adaptive context ctx.
+func (e *Encoder) EncodeBit(ctx *Context, bin int) {
+	bound := e.rng >> probBits * uint32(ctx.p)
+	if bin == 0 {
+		e.rng = bound
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+	}
+	ctx.update(bin)
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeBypass codes one bin at fixed 1/2 probability.
+func (e *Encoder) EncodeBypass(bin int) {
+	e.rng >>= 1
+	if bin != 0 {
+		e.low += uint64(e.rng)
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeBypassBits codes the low n bits of v in bypass mode, MSB first.
+func (e *Encoder) EncodeBypassBits(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.EncodeBypass(int(v >> uint(i) & 1))
+	}
+}
+
+// Finish flushes the arithmetic engine and returns the bitstream.
+func (e *Encoder) Finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// BitLenEstimate reports the current output length in bits, including bits
+// still buffered in the engine. Useful for measuring actual coded size.
+func (e *Encoder) BitLenEstimate() int {
+	return (len(e.out) + int(e.cacheSize) + 4) * 8
+}
+
+// Decoder is the matching binary arithmetic decoder.
+type Decoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+}
+
+// NewDecoder returns a Decoder over a stream produced by Encoder.Finish.
+func NewDecoder(data []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, in: data}
+	// The first output byte is always the initial zero cache; skip it and
+	// load 4 code bytes.
+	d.pos = 1
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *Decoder) next() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	// Reading past the end returns zeros; a well-formed stream never
+	// depends on these bytes for decoded values.
+	d.pos++
+	return 0
+}
+
+// DecodeBit decodes one bin with adaptive context ctx.
+func (d *Decoder) DecodeBit(ctx *Context) int {
+	bound := d.rng >> probBits * uint32(ctx.p)
+	var bin int
+	if d.code < bound {
+		d.rng = bound
+		bin = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		bin = 1
+	}
+	ctx.update(bin)
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return bin
+}
+
+// DecodeBypass decodes one bypass bin.
+func (d *Decoder) DecodeBypass() int {
+	d.rng >>= 1
+	var bin int
+	if d.code >= d.rng {
+		d.code -= d.rng
+		bin = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return bin
+}
+
+// DecodeBypassBits decodes n bypass bins MSB-first.
+func (d *Decoder) DecodeBypassBits(n uint) uint32 {
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		v = v<<1 | uint32(d.DecodeBypass())
+	}
+	return v
+}

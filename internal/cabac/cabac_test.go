@@ -1,0 +1,262 @@
+package cabac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContextBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bins := make([]int, 10000)
+	for i := range bins {
+		// Skewed source: mostly zeros, which the context should learn.
+		if rng.Float64() < 0.9 {
+			bins[i] = 0
+		} else {
+			bins[i] = 1
+		}
+	}
+	enc := NewEncoder()
+	ctx := NewContext(0.5)
+	for _, b := range bins {
+		enc.EncodeBit(&ctx, b)
+	}
+	data := enc.Finish()
+
+	dec := NewDecoder(data)
+	dctx := NewContext(0.5)
+	for i, want := range bins {
+		if got := dec.DecodeBit(&dctx); got != want {
+			t.Fatalf("bin %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSkewedSourceCompresses(t *testing.T) {
+	// Entropy of a 95/5 source is ~0.286 bits/bin; the adaptive coder
+	// should land well under 0.5 bits/bin.
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	enc := NewEncoder()
+	ctx := NewContext(0.5)
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Float64() < 0.05 {
+			b = 1
+		}
+		enc.EncodeBit(&ctx, b)
+	}
+	data := enc.Finish()
+	bitsPerBin := float64(len(data)*8) / float64(n)
+	if bitsPerBin > 0.40 {
+		t.Fatalf("skewed source coded at %.3f bits/bin, want < 0.40", bitsPerBin)
+	}
+	if bitsPerBin < 0.28 {
+		t.Fatalf("impossible: below source entropy (%.3f bits/bin)", bitsPerBin)
+	}
+}
+
+func TestBypassRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint32, 2000)
+	widths := make([]uint, 2000)
+	enc := NewEncoder()
+	for i := range vals {
+		widths[i] = uint(rng.Intn(16) + 1)
+		vals[i] = rng.Uint32() & (1<<widths[i] - 1)
+		enc.EncodeBypassBits(vals[i], widths[i])
+	}
+	dec := NewDecoder(enc.Finish())
+	for i := range vals {
+		if got := dec.DecodeBypassBits(widths[i]); got != vals[i] {
+			t.Fatalf("val %d: got %d want %d", i, got, vals[i])
+		}
+	}
+}
+
+func TestBypassIsOneBitPerBin(t *testing.T) {
+	n := 80000
+	rng := rand.New(rand.NewSource(4))
+	enc := NewEncoder()
+	for i := 0; i < n; i++ {
+		enc.EncodeBypass(rng.Intn(2))
+	}
+	data := enc.Finish()
+	bpb := float64(len(data)*8) / float64(n)
+	if math.Abs(bpb-1.0) > 0.01 {
+		t.Fatalf("bypass bins cost %.4f bits each, want ~1.0", bpb)
+	}
+}
+
+func TestMixedContextBypassRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	type sym struct {
+		kind, bin int
+		ctxIdx    int
+	}
+	const nCtx = 8
+	var syms []sym
+	encCtx := make([]Context, nCtx)
+	decCtx := make([]Context, nCtx)
+	for i := range encCtx {
+		encCtx[i] = NewContext(0.5)
+		decCtx[i] = NewContext(0.5)
+	}
+	enc := NewEncoder()
+	for i := 0; i < 30000; i++ {
+		if rng.Intn(3) == 0 {
+			b := rng.Intn(2)
+			syms = append(syms, sym{kind: 1, bin: b})
+			enc.EncodeBypass(b)
+		} else {
+			ci := rng.Intn(nCtx)
+			// Each context has a different skew.
+			b := 0
+			if rng.Float64() < float64(ci)/10+0.05 {
+				b = 1
+			}
+			syms = append(syms, sym{kind: 0, bin: b, ctxIdx: ci})
+			enc.EncodeBit(&encCtx[ci], b)
+		}
+	}
+	dec := NewDecoder(enc.Finish())
+	for i, s := range syms {
+		var got int
+		if s.kind == 1 {
+			got = dec.DecodeBypass()
+		} else {
+			got = dec.DecodeBit(&decCtx[s.ctxIdx])
+		}
+		if got != s.bin {
+			t.Fatalf("sym %d: got %d want %d", i, got, s.bin)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, skew8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		skew := float64(skew8%100)/100*0.9 + 0.05
+		bins := make([]int, 500)
+		for i := range bins {
+			if rng.Float64() < skew {
+				bins[i] = 1
+			}
+		}
+		enc := NewEncoder()
+		ec := NewContext(0.5)
+		for _, b := range bins {
+			enc.EncodeBit(&ec, b)
+		}
+		dec := NewDecoder(enc.Finish())
+		dc := NewContext(0.5)
+		for _, want := range bins {
+			if dec.DecodeBit(&dc) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostEstimateTracksActualRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	enc := NewEncoder()
+	ctx := NewContext(0.5)
+	var estBits float64
+	n := 40000
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Float64() < 0.2 {
+			b = 1
+		}
+		estBits += float64(ctx.Cost(b)) / costScale
+		enc.EncodeBit(&ctx, b)
+	}
+	actual := float64(len(enc.Finish()) * 8)
+	ratio := estBits / actual
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("cost estimate off: est %.0f actual %.0f (ratio %.3f)", estBits, actual, ratio)
+	}
+}
+
+func TestContextAdaptation(t *testing.T) {
+	ctx := NewContext(0.5)
+	for i := 0; i < 100; i++ {
+		ctx.update(0)
+	}
+	if ctx.Prob0() < 0.9 {
+		t.Fatalf("context failed to adapt toward zero: p0=%.3f", ctx.Prob0())
+	}
+	for i := 0; i < 200; i++ {
+		ctx.update(1)
+	}
+	if ctx.Prob0() > 0.1 {
+		t.Fatalf("context failed to adapt toward one: p0=%.3f", ctx.Prob0())
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	enc := NewEncoder()
+	ctx := NewContext(0.5)
+	enc.EncodeBit(&ctx, 1)
+	enc.Finish()
+	enc.Reset()
+	ctx2 := NewContext(0.5)
+	enc.EncodeBit(&ctx2, 0)
+	enc.EncodeBit(&ctx2, 1)
+	dec := NewDecoder(enc.Finish())
+	dctx := NewContext(0.5)
+	if dec.DecodeBit(&dctx) != 0 || dec.DecodeBit(&dctx) != 1 {
+		t.Fatal("reset encoder produced wrong stream")
+	}
+}
+
+func BenchmarkEncodeBit(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	bins := make([]int, 1<<16)
+	for i := range bins {
+		if rng.Float64() < 0.2 {
+			bins[i] = 1
+		}
+	}
+	b.ResetTimer()
+	enc := NewEncoder()
+	ctx := NewContext(0.5)
+	for i := 0; i < b.N; i++ {
+		enc.EncodeBit(&ctx, bins[i&(1<<16-1)])
+		if i&0xFFFFF == 0xFFFFF {
+			enc.Reset() // keep memory bounded
+		}
+	}
+}
+
+func BenchmarkDecodeBit(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	enc := NewEncoder()
+	ctx := NewContext(0.5)
+	n := 1 << 20
+	for i := 0; i < n; i++ {
+		bin := 0
+		if rng.Float64() < 0.2 {
+			bin = 1
+		}
+		enc.EncodeBit(&ctx, bin)
+	}
+	data := enc.Finish()
+	b.ResetTimer()
+	dec := NewDecoder(data)
+	dctx := NewContext(0.5)
+	for i := 0; i < b.N; i++ {
+		dec.DecodeBit(&dctx)
+		if i%n == n-1 {
+			dec = NewDecoder(data)
+			dctx = NewContext(0.5)
+		}
+	}
+}

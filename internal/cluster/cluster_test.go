@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepTimeComponents(t *testing.T) {
+	c := Config{GPU: DefaultGPU, NIC: DefaultNIC, Codec: NoCodec, DP: 2, PP: 4, NICsPerGPU: 1}
+	s := Step(LLaMA7B, c)
+	if s.ComputeS <= 0 || s.PPCommS <= 0 || s.DPCommS <= 0 {
+		t.Fatalf("all components must be positive: %+v", s)
+	}
+	if s.TotalS() != s.ComputeS+s.PPCommS+s.DPCommS {
+		t.Fatal("TotalS mismatch")
+	}
+	// Single GPU: no communication terms.
+	c1 := Config{GPU: DefaultGPU, NIC: DefaultNIC, Codec: NoCodec, DP: 1, PP: 1, NICsPerGPU: 1}
+	s1 := Step(LLaMA7B, c1)
+	if s1.PPCommS != 0 || s1.DPCommS != 0 {
+		t.Fatalf("single GPU should have zero comm: %+v", s1)
+	}
+}
+
+func TestCompressionSpeedsUpCommBoundConfigs(t *testing.T) {
+	base := Config{GPU: DefaultGPU, NIC: DefaultNIC, Codec: NoCodec, DP: 4, PP: 4, NICsPerGPU: 1}
+	comp := base
+	comp.Codec = ThreeInOne
+	tBase := Throughput(LLaMA7B, base)
+	tComp := Throughput(LLaMA7B, comp)
+	if tComp <= tBase {
+		t.Fatalf("compression should speed up comm-bound training: %.0f vs %.0f tok/s", tComp, tBase)
+	}
+	// The speedup cannot exceed the compression ratio.
+	if tComp/tBase > ThreeInOne.Ratio+1e-9 {
+		t.Fatalf("speedup %.2f exceeds compression ratio %.2f", tComp/tBase, ThreeInOne.Ratio)
+	}
+}
+
+func TestNVCodecThroughputCapLimitsGains(t *testing.T) {
+	// NVENC/NVDEC compresses equally well but its 1.1 GB/s engine caps the
+	// effective rate — the three-in-one must strictly win (Fig. 16a).
+	cfg := Config{GPU: DefaultGPU, NIC: DefaultNIC, DP: 4, PP: 4, NICsPerGPU: 1}
+	nv := cfg
+	nv.Codec = NVCodec
+	tio := cfg
+	tio.Codec = ThreeInOne
+	if Throughput(LLaMA7B, tio) <= Throughput(LLaMA7B, nv) {
+		t.Fatal("three-in-one should beat the NVENC-capped configuration")
+	}
+}
+
+func TestSweepAndPareto(t *testing.T) {
+	pts := Sweep(LLaMA7B, DefaultGPU, DefaultNIC, []CodecSpec{NoCodec, NVCodec, ThreeInOne}, 64)
+	if len(pts) < 50 {
+		t.Fatalf("sweep produced only %d points", len(pts))
+	}
+	front := Pareto(pts)
+	if len(front) < 3 {
+		t.Fatalf("frontier too small: %d", len(front))
+	}
+	// Frontier must be strictly improving.
+	for i := 1; i < len(front); i++ {
+		if front[i].AreaMM2 <= front[i-1].AreaMM2 || front[i].Throughput <= front[i-1].Throughput {
+			t.Fatalf("frontier not monotone at %d", i)
+		}
+	}
+}
+
+func TestThreeInOneParetoDominatesUncompressed(t *testing.T) {
+	// Fig. 16(a): at a fixed area budget, the compressed cluster delivers
+	// more performance.
+	budget := 50000.0
+	base := Sweep(LLaMA7B, DefaultGPU, DefaultNIC, []CodecSpec{NoCodec}, 128)
+	tio := Sweep(LLaMA7B, DefaultGPU, DefaultNIC, []CodecSpec{ThreeInOne}, 128)
+	b, ok1 := BestUnderArea(base, budget)
+	c, ok2 := BestUnderArea(tio, budget)
+	if !ok1 || !ok2 {
+		t.Fatal("no feasible points under budget")
+	}
+	speedup := c.Throughput / b.Throughput
+	if speedup <= 1.1 {
+		t.Fatalf("three-in-one speedup %.2f at %.0f mm², want > 1.1", speedup, budget)
+	}
+}
+
+func TestEnergyEfficiencyGrowsWithModelSize(t *testing.T) {
+	// Fig. 16(b): the relative energy win of compression grows as models —
+	// and hence communication share — grow.
+	ratioAt := func(params float64) float64 {
+		llm := ScaleModel(LLaMA7B, params)
+		// Bigger models are forced onto deeper pipelines by memory, which
+		// is what grows communication's share.
+		pp := MinPP(llm, DefaultGPU)
+		base := Config{GPU: DefaultGPU, NIC: DefaultNIC, Codec: NoCodec, DP: 4, PP: pp, NICsPerGPU: 1}
+		comp := base
+		comp.Codec = ThreeInOne
+		return EnergyPerToken(llm, base) / EnergyPerToken(llm, comp)
+	}
+	small := ratioAt(7e9)
+	large := ratioAt(70e9)
+	if large <= small {
+		t.Fatalf("energy win should grow with scale: 7B %.2f×, 70B %.2f×", small, large)
+	}
+	if small < 1 {
+		t.Fatalf("compression should already win at 7B: %.2f×", small)
+	}
+}
+
+func TestScaleModel(t *testing.T) {
+	big := ScaleModel(LLaMA7B, 70e9)
+	if big.Params != 70e9 || big.Hidden <= LLaMA7B.Hidden || big.Layers <= LLaMA7B.Layers {
+		t.Fatalf("scaling wrong: %+v", big)
+	}
+	f := math.Sqrt(70e9 / LLaMA7B.Params)
+	if math.Abs(float64(big.Hidden)-float64(LLaMA7B.Hidden)*f) > 1 {
+		t.Fatalf("hidden scaling off: %d", big.Hidden)
+	}
+}
+
+func TestMemoryConstraintPrunesSweep(t *testing.T) {
+	// A model too large for a single stage must force PP > 1 points only.
+	llm := ScaleModel(LLaMA7B, 100e9) // 100B params: 600GB needed
+	pts := Sweep(llm, DefaultGPU, DefaultNIC, []CodecSpec{NoCodec}, 64)
+	for _, p := range pts {
+		if p.Cfg.PP < 16 {
+			t.Fatalf("infeasible PP=%d point survived the memory check", p.Cfg.PP)
+		}
+	}
+}
+
+func TestAreaAndPowerAccounting(t *testing.T) {
+	c := Config{GPU: DefaultGPU, NIC: DefaultNIC, Codec: ThreeInOne, DP: 2, PP: 2, NICsPerGPU: 2}
+	wantArea := 4 * (398 + 2*169.7 + ThreeInOne.AreaMM2)
+	if math.Abs(c.AreaMM2()-wantArea) > 1e-6 {
+		t.Fatalf("area %.1f, want %.1f", c.AreaMM2(), wantArea)
+	}
+	if c.PowerW() <= 4*(350+50) {
+		t.Fatal("power must include codec energy")
+	}
+}

@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"repro/internal/bits"
+	"repro/internal/cabac"
+)
+
+// binEncoder abstracts the entropy back-end: CABAC when Tools.CABAC is set,
+// otherwise a plain bit writer (every bin costs one literal bit, which is
+// what "no entropy coding" means for the Fig. 2 ablation).
+type binEncoder interface {
+	bit(ctx *cabac.Context, bin int)
+	bypass(bin int)
+	bypassBits(v uint32, n uint)
+	finish() []byte
+}
+
+type binDecoder interface {
+	bit(ctx *cabac.Context) int
+	bypass() int
+	bypassBits(n uint) uint32
+}
+
+type cabacBinEnc struct{ e *cabac.Encoder }
+
+func (c cabacBinEnc) bit(ctx *cabac.Context, bin int) { c.e.EncodeBit(ctx, bin) }
+func (c cabacBinEnc) bypass(bin int)                  { c.e.EncodeBypass(bin) }
+func (c cabacBinEnc) bypassBits(v uint32, n uint)     { c.e.EncodeBypassBits(v, n) }
+func (c cabacBinEnc) finish() []byte                  { return c.e.Finish() }
+
+type cabacBinDec struct{ d *cabac.Decoder }
+
+func (c cabacBinDec) bit(ctx *cabac.Context) int { return c.d.DecodeBit(ctx) }
+func (c cabacBinDec) bypass() int                { return c.d.DecodeBypass() }
+func (c cabacBinDec) bypassBits(n uint) uint32   { return c.d.DecodeBypassBits(n) }
+
+type rawBinEnc struct{ w *bits.Writer }
+
+func (r rawBinEnc) bit(_ *cabac.Context, bin int) { r.w.WriteBit(bin) }
+func (r rawBinEnc) bypass(bin int)                { r.w.WriteBit(bin) }
+func (r rawBinEnc) bypassBits(v uint32, n uint)   { r.w.WriteBits(uint64(v), n) }
+func (r rawBinEnc) finish() []byte                { return r.w.Bytes() }
+
+type rawBinDec struct{ r *bits.Reader }
+
+func (d rawBinDec) bit(_ *cabac.Context) int {
+	b, err := d.r.ReadBit()
+	if err != nil {
+		panic(decodeError{err})
+	}
+	return b
+}
+
+func (d rawBinDec) bypass() int { return d.bit(nil) }
+
+func (d rawBinDec) bypassBits(n uint) uint32 {
+	v, err := d.r.ReadBits(n)
+	if err != nil {
+		panic(decodeError{err})
+	}
+	return uint32(v)
+}
+
+// decodeError wraps stream errors raised inside the decode recursion; the
+// top-level Decode recovers it into a normal error return.
+type decodeError struct{ err error }
+
+// egEncode writes v with a k-th order Exp-Golomb code through bypass bins —
+// the HEVC coeff_abs_level_remaining binarization.
+func egEncode(e binEncoder, v uint32, k uint) {
+	for v >= 1<<k {
+		e.bypass(1)
+		v -= 1 << k
+		k++
+		if k > 30 {
+			panic("codec: exp-Golomb overflow")
+		}
+	}
+	e.bypass(0)
+	if k > 0 {
+		e.bypassBits(v, k)
+	}
+}
+
+// egDecode reads a k-th order Exp-Golomb code.
+func egDecode(d binDecoder, k uint) uint32 {
+	var v uint32
+	for d.bypass() == 1 {
+		v += 1 << k
+		k++
+		if k > 30 {
+			panic(decodeError{errMalformed})
+		}
+	}
+	if k > 0 {
+		v += d.bypassBits(k)
+	}
+	return v
+}
+
+// egLen estimates the bit length of the k-th order Exp-Golomb code for v.
+func egLen(v uint32, k uint) int {
+	n := 1
+	for v >= 1<<k {
+		v -= 1 << k
+		k++
+		n++
+	}
+	return n + int(k)
+}
+
+// contexts is the full set of adaptive contexts, identically initialized on
+// the encoder and decoder sides. One instance lives per coded sequence so
+// adaptation carries across the frames of a tensor.
+type contexts struct {
+	split     [6]cabac.Context    // by quadtree depth
+	interFlag cabac.Context       //
+	modeSame  cabac.Context       // intra mode equals previous CU's mode
+	cbf       [4]cabac.Context    // coded-block flag, by size index
+	sig       [4][9]cabac.Context // significance, by size index × diagonal bin
+	g1        [4]cabac.Context    // |level| > 1
+	g2        [4]cabac.Context    // |level| > 2
+}
+
+func newContexts() *contexts {
+	c := &contexts{}
+	for i := range c.split {
+		c.split[i] = cabac.NewContext(0.5)
+	}
+	c.interFlag = cabac.NewContext(0.8) // inter is rare on tensors
+	c.modeSame = cabac.NewContext(0.5)
+	for s := 0; s < 4; s++ {
+		c.cbf[s] = cabac.NewContext(0.3)
+		c.g1[s] = cabac.NewContext(0.6)
+		c.g2[s] = cabac.NewContext(0.6)
+		for d := 0; d < 9; d++ {
+			c.sig[s][d] = cabac.NewContext(0.6)
+		}
+	}
+	return c
+}
+
+// sizeIdx maps a block edge (4..32) to a context table index.
+func sizeIdx(n int) int {
+	switch {
+	case n <= 4:
+		return 0
+	case n <= 8:
+		return 1
+	case n <= 16:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,281 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/cabac"
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/intra"
+)
+
+type decoder struct {
+	prof  Profile
+	tools Tools
+	qp    int
+
+	w, h  int
+	recon *frame.Plane
+	prev  *frame.Plane
+	coded []bool
+	fIdx  int
+
+	ctx *contexts
+	br  binDecoder
+
+	transforms map[int]*dct.Transform
+	dst4       *dct.Transform
+
+	prevMode intra.Mode
+}
+
+// Decode parses a bitstream produced by Encode and returns the reconstructed
+// planes (cropped to their original sizes).
+func Decode(data []byte) (planes []*frame.Plane, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if de, ok := r.(decodeError); ok {
+				planes, err = nil, de.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	if len(data) < 12 {
+		return nil, errMalformed
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return nil, fmt.Errorf("codec: bad magic")
+		}
+	}
+	if data[4] != 1 {
+		return nil, fmt.Errorf("codec: unsupported version %d", data[4])
+	}
+	prof, ok := profileByID[data[5]]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown profile id %d", data[5])
+	}
+	tools := toolsFromBits(data[6])
+	qp := int(data[7])
+	if qp > dct.MaxQP {
+		return nil, errMalformed
+	}
+	off := 8
+	if len(data) < off+4 {
+		return nil, errMalformed
+	}
+	nFrames := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if nFrames <= 0 || nFrames > 1<<20 || len(data) < off+8*nFrames+4 {
+		return nil, errMalformed
+	}
+	dims := make([][2]int, nFrames)
+	for i := range dims {
+		dims[i][0] = int(binary.BigEndian.Uint32(data[off:]))
+		dims[i][1] = int(binary.BigEndian.Uint32(data[off+4:]))
+		off += 8
+		if dims[i][0] <= 0 || dims[i][1] <= 0 {
+			return nil, errMalformed
+		}
+	}
+	payLen := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if payLen < 0 || off+payLen > len(data) {
+		return nil, errMalformed
+	}
+	payload := data[off : off+payLen]
+
+	d := &decoder{
+		prof:       prof,
+		tools:      tools,
+		qp:         qp,
+		ctx:        newContexts(),
+		transforms: map[int]*dct.Transform{},
+		dst4:       dct.NewDST4(),
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		if n <= prof.MaxTransform {
+			d.transforms[n] = dct.NewDCT(n)
+		}
+	}
+	if tools.CABAC {
+		d.br = cabacBinDec{cabac.NewDecoder(payload)}
+	} else {
+		d.br = rawBinDec{bits.NewReader(payload)}
+	}
+
+	planes = make([]*frame.Plane, nFrames)
+	for i := 0; i < nFrames; i++ {
+		d.fIdx = i
+		planes[i] = d.decodeFrame(dims[i][0], dims[i][1])
+	}
+	return planes, nil
+}
+
+func (d *decoder) decodeFrame(srcW, srcH int) *frame.Plane {
+	d.prev = d.recon
+	d.w = padTo(srcW, d.prof.CTUSize)
+	d.h = padTo(srcH, d.prof.CTUSize)
+	d.recon = frame.NewPlane(d.w, d.h)
+	d.coded = make([]bool, d.w*d.h)
+	d.prevMode = intra.DC
+
+	for y := 0; y < d.h; y += d.prof.CTUSize {
+		for x := 0; x < d.w; x += d.prof.CTUSize {
+			d.parseCU(x, y, d.prof.CTUSize, 0)
+		}
+	}
+	crop := frame.NewPlane(srcW, srcH)
+	for y := 0; y < srcH; y++ {
+		copy(crop.Row(y), d.recon.Row(y)[:srcW])
+	}
+	d.recon = crop
+	return crop
+}
+
+// Tool/profile split rules must match the encoder bit for bit.
+func (d *decoder) effMinCU() int {
+	if !d.tools.Partitioning {
+		n := fixedCUSize
+		if n > d.prof.MaxTransform {
+			n = d.prof.MaxTransform
+		}
+		return n
+	}
+	return d.prof.MinCUSize
+}
+
+func (d *decoder) splitKindFor(size int) splitKind {
+	minCU := d.effMinCU()
+	if size > d.prof.MaxTransform {
+		return splitForced
+	}
+	if !d.tools.Partitioning {
+		if size > minCU {
+			return splitForced
+		}
+		return splitLeafOnly
+	}
+	if size > minCU {
+		return splitSignaled
+	}
+	return splitLeafOnly
+}
+
+func (d *decoder) parseCU(x, y, size, depth int) {
+	split := false
+	switch d.splitKindFor(size) {
+	case splitForced:
+		split = true
+	case splitSignaled:
+		split = d.br.bit(&d.ctx.split[min(depth, len(d.ctx.split)-1)]) == 1
+	case splitLeafOnly:
+	}
+	if split {
+		h := size / 2
+		for i := 0; i < 4; i++ {
+			d.parseCU(x+(i%2)*h, y+(i/2)*h, h, depth+1)
+		}
+		return
+	}
+	d.parseLeaf(x, y, size)
+}
+
+func (d *decoder) parseLeaf(x, y, size int) {
+	var (
+		isInter  bool
+		mvx, mvy int32
+		mode     = intra.DC
+	)
+	if d.tools.InterPred && d.fIdx > 0 {
+		isInter = d.br.bit(&d.ctx.interFlag) == 1
+	}
+	if isInter {
+		mvx = unzigzag(egDecode(d.br, 1))
+		mvy = unzigzag(egDecode(d.br, 1))
+	} else if d.tools.IntraPred {
+		if d.br.bit(&d.ctx.modeSame) == 1 {
+			mode = d.prevMode
+		} else {
+			idx := int(d.br.bypassBits(modeIdxBits(len(d.prof.Modes))))
+			if idx >= len(d.prof.Modes) {
+				panic(decodeError{errMalformed})
+			}
+			mode = d.prof.Modes[idx]
+		}
+		d.prevMode = mode
+	}
+
+	lev := d.parseResidual(size, d.tools.Transform)
+
+	pred := make([]int32, size*size)
+	switch {
+	case isInter:
+		motionPredict(d.prev, pred, x, y, size, mvx, mvy)
+	case d.tools.IntraPred:
+		refs := gatherRefs(d.recon, d.coded, x, y, size)
+		if d.prof.RefSmoothing && intra.UseSmoothing(size, mode) {
+			refs = refs.Smoothed()
+		}
+		intra.Predict(mode, size, refs, pred)
+	default:
+		for i := range pred {
+			pred[i] = 128
+		}
+	}
+
+	tr := d.transformFor(size, !isInter)
+	rec := reconstructBlock(pred, lev, size, d.qp, d.tools.Transform, tr)
+	for dy := 0; dy < size; dy++ {
+		row := d.recon.Row(y + dy)
+		for dx := 0; dx < size; dx++ {
+			row[x+dx] = uint8(rec[dy*size+dx])
+			d.coded[(y+dy)*d.w+x+dx] = true
+		}
+	}
+}
+
+func (d *decoder) transformFor(size int, isIntra bool) *dct.Transform {
+	if size == 4 && isIntra && d.prof.UseDST4 {
+		return d.dst4
+	}
+	return d.transforms[size]
+}
+
+func (d *decoder) parseResidual(size int, transformed bool) []int32 {
+	si := sizeIdx(size)
+	scan := scanOrder(size)
+	if !transformed {
+		scan = rasterOrder(size)
+	}
+	lev := make([]int32, size*size)
+	if d.br.bit(&d.ctx.cbf[si]) == 0 {
+		return lev
+	}
+	k := uint(0)
+	for _, pos := range scan {
+		if d.br.bit(&d.ctx.sig[si][diagBin(pos, size)]) == 0 {
+			continue
+		}
+		a := int32(1)
+		if d.br.bit(&d.ctx.g1[si]) == 1 {
+			a = 2
+			if d.br.bit(&d.ctx.g2[si]) == 1 {
+				rem := egDecode(d.br, k)
+				a = 3 + int32(rem)
+				if rem > 3<<k && k < 4 {
+					k++
+				}
+			}
+		}
+		if d.br.bypass() == 1 {
+			a = -a
+		}
+		lev[pos] = a
+	}
+	return lev
+}

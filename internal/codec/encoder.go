@@ -1,0 +1,804 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/cabac"
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/intra"
+)
+
+var errMalformed = errors.New("codec: malformed bitstream")
+
+// magic identifies an LLM.265 elementary stream.
+var magic = [4]byte{'L', '2', '6', '5'}
+
+// Stats summarizes an encode.
+type Stats struct {
+	Bits         int     // total bitstream size in bits, headers included
+	Pixels       int     // number of source pixels across all frames
+	MSE          float64 // mean squared error in 8-bit pixel units
+	BitsPerPixel float64 // Bits / Pixels
+}
+
+// Encoder carries the per-sequence encoding state. Create one per Encode
+// call; it is not safe for concurrent use.
+type encoder struct {
+	prof  Profile
+	tools Tools
+	qp    int
+
+	w, h  int // padded dims of the current frame
+	orig  *frame.Plane
+	recon *frame.Plane
+	prev  *frame.Plane // previous frame's reconstruction (inter)
+	coded []bool       // per-pixel "already reconstructed" mask
+	fIdx  int
+
+	ctx    *contexts
+	bw     binEncoder
+	lambda float64
+
+	transforms map[int]*dct.Transform
+	dst4       *dct.Transform
+
+	prevModeEmit intra.Mode // mode predictor state for emission
+}
+
+// Encode compresses planes at the given QP with the selected profile and
+// tools, returning the bitstream and encode statistics.
+func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, Stats, error) {
+	if len(planes) == 0 {
+		return nil, Stats{}, errors.New("codec: no frames")
+	}
+	if qp < 0 || qp > dct.MaxQP {
+		return nil, Stats{}, fmt.Errorf("codec: qp %d out of range", qp)
+	}
+	for _, p := range planes {
+		if p.W > prof.MaxFrameDim || p.H > prof.MaxFrameDim {
+			return nil, Stats{}, fmt.Errorf("codec: frame %dx%d exceeds %s limit %d",
+				p.W, p.H, prof.Name, prof.MaxFrameDim)
+		}
+	}
+	e := &encoder{
+		prof:       prof,
+		tools:      tools,
+		qp:         qp,
+		ctx:        newContexts(),
+		lambda:     0.12 * dct.Qstep(qp) * dct.Qstep(qp),
+		transforms: map[int]*dct.Transform{},
+		dst4:       dct.NewDST4(),
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		if n <= prof.MaxTransform {
+			e.transforms[n] = dct.NewDCT(n)
+		}
+	}
+	if tools.CABAC {
+		e.bw = cabacBinEnc{cabac.NewEncoder()}
+	} else {
+		e.bw = rawBinEnc{bits.NewWriter()}
+	}
+
+	var head bytes.Buffer
+	head.Write(magic[:])
+	head.WriteByte(1) // version
+	head.WriteByte(prof.id())
+	head.WriteByte(tools.bits())
+	head.WriteByte(uint8(qp))
+	if err := binary.Write(&head, binary.BigEndian, uint32(len(planes))); err != nil {
+		return nil, Stats{}, err
+	}
+	for _, p := range planes {
+		binary.Write(&head, binary.BigEndian, uint32(p.W))
+		binary.Write(&head, binary.BigEndian, uint32(p.H))
+	}
+
+	var st Stats
+	recs := make([]*frame.Plane, len(planes))
+	for i, p := range planes {
+		e.fIdx = i
+		e.encodeFrame(p)
+		recs[i] = e.recon
+		st.Pixels += p.W * p.H
+	}
+	payload := e.bw.finish()
+	binary.Write(&head, binary.BigEndian, uint32(len(payload)))
+	out := append(head.Bytes(), payload...)
+
+	var sse float64
+	for i, p := range planes {
+		r := recs[i]
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				d := float64(int(p.At(x, y)) - int(r.At(x, y)))
+				sse += d * d
+			}
+		}
+	}
+	st.Bits = len(out) * 8
+	st.MSE = sse / float64(st.Pixels)
+	st.BitsPerPixel = float64(st.Bits) / float64(st.Pixels)
+	return out, st, nil
+}
+
+// padTo returns v rounded up to a multiple of m.
+func padTo(v, m int) int { return (v + m - 1) / m * m }
+
+// padPlane edge-replicates p to pw×ph.
+func padPlane(p *frame.Plane, pw, ph int) *frame.Plane {
+	if p.W == pw && p.H == ph {
+		return p.Clone()
+	}
+	q := frame.NewPlane(pw, ph)
+	for y := 0; y < ph; y++ {
+		sy := y
+		if sy >= p.H {
+			sy = p.H - 1
+		}
+		for x := 0; x < pw; x++ {
+			sx := x
+			if sx >= p.W {
+				sx = p.W - 1
+			}
+			q.Set(x, y, p.At(sx, sy))
+		}
+	}
+	return q
+}
+
+func (e *encoder) encodeFrame(src *frame.Plane) {
+	e.prev = e.recon // previous frame's reconstruction (may be nil)
+	e.w = padTo(src.W, e.prof.CTUSize)
+	e.h = padTo(src.H, e.prof.CTUSize)
+	e.orig = padPlane(src, e.w, e.h)
+	e.recon = frame.NewPlane(e.w, e.h)
+	e.coded = make([]bool, e.w*e.h)
+	e.prevModeEmit = intra.DC
+
+	for y := 0; y < e.h; y += e.prof.CTUSize {
+		for x := 0; x < e.w; x += e.prof.CTUSize {
+			d := e.decideCU(x, y, e.prof.CTUSize, 0)
+			e.emitCU(d, x, y, e.prof.CTUSize, 0)
+		}
+	}
+	// Crop the reconstruction back to the source dims for stats.
+	crop := frame.NewPlane(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		copy(crop.Row(y), e.recon.Row(y)[:src.W])
+	}
+	full := e.recon
+	e.recon = crop
+	_ = full
+}
+
+// cuDec is a decided coding unit: either a split with four children or a
+// leaf with its prediction decision and quantized levels.
+type cuDec struct {
+	split    bool
+	children [4]*cuDec
+
+	inter  bool
+	mvx    int32
+	mvy    int32
+	mode   intra.Mode
+	levels []int32 // row-major n×n quantized levels
+	cost   float64
+}
+
+// effMinCU reports the leaf size floor given the tools.
+func (e *encoder) effMinCU() int {
+	if !e.tools.Partitioning {
+		n := fixedCUSize
+		if n > e.prof.MaxTransform {
+			n = e.prof.MaxTransform
+		}
+		return n
+	}
+	return e.prof.MinCUSize
+}
+
+// splitKind classifies how a CU of the given size partitions: forced split,
+// signaled split, or leaf-only.
+type splitKind int
+
+const (
+	splitForced splitKind = iota
+	splitSignaled
+	splitLeafOnly
+)
+
+func (e *encoder) splitKindFor(size int) splitKind {
+	minCU := e.effMinCU()
+	if size > e.prof.MaxTransform {
+		return splitForced
+	}
+	if !e.tools.Partitioning {
+		if size > minCU {
+			return splitForced
+		}
+		return splitLeafOnly
+	}
+	if size > minCU {
+		return splitSignaled
+	}
+	return splitLeafOnly
+}
+
+func (e *encoder) decideCU(x, y, size, depth int) *cuDec {
+	switch e.splitKindFor(size) {
+	case splitForced:
+		d := &cuDec{split: true}
+		h := size / 2
+		for i := 0; i < 4; i++ {
+			cx, cy := x+(i%2)*h, y+(i/2)*h
+			d.children[i] = e.decideCU(cx, cy, h, depth+1)
+			d.cost += d.children[i].cost
+		}
+		return d
+	case splitLeafOnly:
+		leaf := e.decideLeaf(x, y, size)
+		e.applyLeaf(leaf, x, y, size)
+		return leaf
+	}
+
+	// Signaled split: compare leaf vs 4-way split by RD cost.
+	leaf := e.decideLeaf(x, y, size)
+
+	// Snapshot the block region before the children trial.
+	snap := e.snapshot(x, y, size)
+
+	split := &cuDec{split: true, cost: e.lambda * 1.0} // ~1 bit split flag
+	h := size / 2
+	for i := 0; i < 4; i++ {
+		cx, cy := x+(i%2)*h, y+(i/2)*h
+		split.children[i] = e.decideCU(cx, cy, h, depth+1)
+		split.cost += split.children[i].cost
+	}
+
+	leafTotal := leaf.cost + e.lambda*1.0 // leaf also pays the split flag
+	if leafTotal <= split.cost {
+		e.restore(snap, x, y, size)
+		e.applyLeaf(leaf, x, y, size)
+		leaf.cost = leafTotal
+		return leaf
+	}
+	return split
+}
+
+func (e *encoder) snapshot(x, y, size int) []uint8 {
+	s := make([]uint8, size*size)
+	for dy := 0; dy < size; dy++ {
+		copy(s[dy*size:dy*size+size], e.recon.Row(y + dy)[x:x+size])
+	}
+	return s
+}
+
+func (e *encoder) restore(s []uint8, x, y, size int) {
+	for dy := 0; dy < size; dy++ {
+		copy(e.recon.Row(y + dy)[x:x+size], s[dy*size:dy*size+size])
+	}
+}
+
+// applyLeaf reconstructs the decided leaf into the recon plane and marks the
+// region coded.
+func (e *encoder) applyLeaf(d *cuDec, x, y, size int) {
+	pred := e.predictFor(d, x, y, size)
+	rec := reconstructBlock(pred, d.levels, size, e.qp, e.tools.Transform, e.transformFor(size, !d.inter))
+	for dy := 0; dy < size; dy++ {
+		row := e.recon.Row(y + dy)
+		for dx := 0; dx < size; dx++ {
+			row[x+dx] = uint8(rec[dy*size+dx])
+			e.coded[(y+dy)*e.w+x+dx] = true
+		}
+	}
+}
+
+// transformFor picks the transform for a block (DST-VII for 4×4 intra when
+// the profile enables it).
+func (e *encoder) transformFor(size int, isIntra bool) *dct.Transform {
+	if size == 4 && isIntra && e.prof.UseDST4 {
+		return e.dst4
+	}
+	return e.transforms[size]
+}
+
+// predictFor computes the prediction signal for a decided leaf.
+func (e *encoder) predictFor(d *cuDec, x, y, size int) []int32 {
+	pred := make([]int32, size*size)
+	switch {
+	case d.inter:
+		e.motionPredict(pred, x, y, size, d.mvx, d.mvy)
+	case e.tools.IntraPred:
+		refs := e.gatherRefs(x, y, size)
+		if e.prof.RefSmoothing && intra.UseSmoothing(size, d.mode) {
+			refs = refs.Smoothed()
+		}
+		intra.Predict(d.mode, size, refs, pred)
+	default:
+		for i := range pred {
+			pred[i] = 128
+		}
+	}
+	return pred
+}
+
+// gatherRefs builds intra reference samples from the reconstruction with
+// HEVC-style substitution of unavailable samples.
+func (e *encoder) gatherRefs(x, y, size int) intra.Refs {
+	return gatherRefs(e.recon, e.coded, x, y, size)
+}
+
+func gatherRefs(recon *frame.Plane, coded []bool, x, y, size int) intra.Refs {
+	w, h := recon.W, recon.H
+	n2 := 2 * size
+	avail := func(px, py int) bool {
+		return px >= 0 && py >= 0 && px < w && py < h && coded[py*w+px]
+	}
+	// Collect raw samples with availability, order: below-left (bottom to
+	// top), corner, above and above-right (left to right) — the HEVC
+	// reference scan.
+	type rs struct {
+		v  int32
+		ok bool
+	}
+	raw := make([]rs, 0, 4*size+1)
+	for i := n2 - 1; i >= 0; i-- { // left column downward stored reversed
+		if avail(x-1, y+i) {
+			raw = append(raw, rs{int32(recon.At(x-1, y+i)), true})
+		} else {
+			raw = append(raw, rs{0, false})
+		}
+	}
+	if avail(x-1, y-1) {
+		raw = append(raw, rs{int32(recon.At(x-1, y-1)), true})
+	} else {
+		raw = append(raw, rs{0, false})
+	}
+	for i := 0; i < n2; i++ {
+		if avail(x+i, y-1) {
+			raw = append(raw, rs{int32(recon.At(x+i, y-1)), true})
+		} else {
+			raw = append(raw, rs{0, false})
+		}
+	}
+	// Substitute: find the first available; if none, all 128. Then fill
+	// forward and backward.
+	first := -1
+	for i, r := range raw {
+		if r.ok {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		for i := range raw {
+			raw[i] = rs{128, true}
+		}
+	} else {
+		for i := first - 1; i >= 0; i-- {
+			raw[i] = rs{raw[i+1].v, true}
+		}
+		for i := first + 1; i < len(raw); i++ {
+			if !raw[i].ok {
+				raw[i] = rs{raw[i-1].v, true}
+			}
+		}
+	}
+	refs := intra.NewRefs(size)
+	for i := 0; i < n2; i++ {
+		refs.Left[i] = raw[n2-1-i].v
+	}
+	refs.Corner = raw[n2].v
+	for i := 0; i < n2; i++ {
+		refs.Above[i] = raw[n2+1+i].v
+	}
+	return refs
+}
+
+// motionPredict copies the motion-compensated block from the previous frame.
+func (e *encoder) motionPredict(dst []int32, x, y, size int, mvx, mvy int32) {
+	motionPredict(e.prev, dst, x, y, size, mvx, mvy)
+}
+
+func motionPredict(prev *frame.Plane, dst []int32, x, y, size int, mvx, mvy int32) {
+	for dy := 0; dy < size; dy++ {
+		for dx := 0; dx < size; dx++ {
+			sx := clampInt(x+dx+int(mvx), 0, prev.W-1)
+			sy := clampInt(y+dy+int(mvy), 0, prev.H-1)
+			dst[dy*size+dx] = int32(prev.At(sx, sy))
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// decideLeaf searches prediction choices for an undivided CU and returns the
+// best decision without touching the recon plane.
+func (e *encoder) decideLeaf(x, y, size int) *cuDec {
+	orig := make([]int32, size*size)
+	for dy := 0; dy < size; dy++ {
+		row := e.orig.Row(y + dy)
+		for dx := 0; dx < size; dx++ {
+			orig[dy*size+dx] = int32(row[x+dx])
+		}
+	}
+
+	best := &cuDec{cost: math.Inf(1)}
+	tryIntraMode := func(m intra.Mode, pred []int32) {
+		lev, dist, rbits := e.trialResidual(orig, pred, size, true)
+		modeBits := 1.0 + math.Log2(float64(len(e.prof.Modes)))
+		cost := dist + e.lambda*(rbits+modeBits)
+		if cost < best.cost {
+			best = &cuDec{mode: m, levels: lev, cost: cost}
+		}
+	}
+
+	if e.tools.IntraPred {
+		refs := e.gatherRefs(x, y, size)
+		// Rank all modes by SAD, full-RD the top few plus Planar and DC.
+		type cand struct {
+			m   intra.Mode
+			sad int64
+		}
+		cands := make([]cand, 0, len(e.prof.Modes))
+		preds := map[intra.Mode][]int32{}
+		for _, m := range e.prof.Modes {
+			r := refs
+			if e.prof.RefSmoothing && intra.UseSmoothing(size, m) {
+				r = refs.Smoothed()
+			}
+			pred := make([]int32, size*size)
+			intra.Predict(m, size, r, pred)
+			preds[m] = pred
+			var sad int64
+			for i := range orig {
+				d := orig[i] - pred[i]
+				if d < 0 {
+					d = -d
+				}
+				sad += int64(d)
+			}
+			cands = append(cands, cand{m, sad})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].sad < cands[j].sad })
+		// Full RD on the top SAD candidates only; Planar and DC compete in
+		// the SAD ranking like every other mode.
+		for i := 0; i < len(cands) && i < 3; i++ {
+			tryIntraMode(cands[i].m, preds[cands[i].m])
+		}
+	} else {
+		pred := make([]int32, size*size)
+		for i := range pred {
+			pred[i] = 128
+		}
+		lev, dist, rbits := e.trialResidual(orig, pred, size, true)
+		best = &cuDec{mode: intra.DC, levels: lev, cost: dist + e.lambda*rbits}
+	}
+
+	if e.tools.InterPred && e.fIdx > 0 {
+		mvx, mvy := e.motionSearch(orig, x, y, size)
+		pred := make([]int32, size*size)
+		e.motionPredict(pred, x, y, size, mvx, mvy)
+		lev, dist, rbits := e.trialResidual(orig, pred, size, false)
+		mvBits := float64(egLen(zigzagU(mvx), 1) + egLen(zigzagU(mvy), 1))
+		cost := dist + e.lambda*(rbits+mvBits+1)
+		if cost < best.cost {
+			best = &cuDec{inter: true, mvx: mvx, mvy: mvy, levels: lev, cost: cost}
+		}
+	}
+	return best
+}
+
+// motionSearch finds the best integer motion vector within ±searchRange.
+const searchRange = 7
+
+func (e *encoder) motionSearch(orig []int32, x, y, size int) (int32, int32) {
+	bestSAD := int64(math.MaxInt64)
+	var bx, by int32
+	pred := make([]int32, size*size)
+	for my := -searchRange; my <= searchRange; my++ {
+		for mx := -searchRange; mx <= searchRange; mx++ {
+			e.motionPredict(pred, x, y, size, int32(mx), int32(my))
+			var sad int64
+			for i := range orig {
+				d := orig[i] - pred[i]
+				if d < 0 {
+					d = -d
+				}
+				sad += int64(d)
+			}
+			// Slight zero-bias so (0,0) wins ties.
+			sad += int64(absInt32(int32(mx))+absInt32(int32(my))) * int64(size)
+			if sad < bestSAD {
+				bestSAD, bx, by = sad, int32(mx), int32(my)
+			}
+		}
+	}
+	return bx, by
+}
+
+func absInt32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// trialResidual transforms, quantizes and reconstructs the residual,
+// returning the levels, the SSE distortion and an estimated rate in bits.
+func (e *encoder) trialResidual(orig, pred []int32, size int, isIntra bool) ([]int32, float64, float64) {
+	n2 := size * size
+	res := make([]int32, n2)
+	for i := range res {
+		res[i] = orig[i] - pred[i]
+	}
+	lev := make([]int32, n2)
+	tr := e.transformFor(size, isIntra)
+	if e.tools.Transform {
+		coef := make([]int32, n2)
+		tr.Forward(coef, res)
+		dct.Quantize(lev, coef, e.qp)
+	} else {
+		quantizeSpatial(lev, res, e.qp)
+	}
+	rec := reconstructBlock(pred, lev, size, e.qp, e.tools.Transform, tr)
+	var sse float64
+	for i := range orig {
+		d := float64(orig[i] - rec[i])
+		sse += d * d
+	}
+	return lev, sse, estimateLevelBits(lev, size, e.tools.Transform)
+}
+
+// reconstructBlock rebuilds pixel values from a prediction and levels; this
+// is the single reconstruction path shared (by construction) with the
+// decoder.
+func reconstructBlock(pred, levels []int32, size, qp int, useTransform bool, tr *dct.Transform) []int32 {
+	n2 := size * size
+	rec := make([]int32, n2)
+	if useTransform {
+		coef := make([]int32, n2)
+		dct.Dequantize(coef, levels, qp)
+		tr.Inverse(rec, coef)
+	} else {
+		dequantizeSpatial(rec, levels, qp)
+	}
+	for i := range rec {
+		v := pred[i] + rec[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		rec[i] = v
+	}
+	return rec
+}
+
+// quantizeSpatial quantizes a spatial residual with the QP step and the same
+// dead-zone as the transform path (used when the transform is ablated).
+func quantizeSpatial(dst, res []int32, qp int) {
+	step := dct.Qstep(qp)
+	inv := 1 / step
+	for i, r := range res {
+		v := float64(r) * inv
+		if v >= 0 {
+			dst[i] = int32(v + 1.0/3.0)
+		} else {
+			dst[i] = -int32(-v + 1.0/3.0)
+		}
+	}
+}
+
+func dequantizeSpatial(dst, lev []int32, qp int) {
+	step := dct.Qstep(qp)
+	for i, l := range lev {
+		dst[i] = int32(math.Round(float64(l) * step))
+	}
+}
+
+// estimateLevelBits approximates the entropy-coded size of a level block for
+// RD decisions (the emission phase spends the real bits).
+func estimateLevelBits(lev []int32, size int, transformed bool) float64 {
+	scan := scanOrder(size)
+	if !transformed {
+		scan = rasterOrder(size)
+	}
+	last := -1
+	for i := len(scan) - 1; i >= 0; i-- {
+		if lev[scan[i]] != 0 {
+			last = i
+			break
+		}
+	}
+	if last == -1 {
+		return 1 // CBF only
+	}
+	bitsEst := 1.0 // CBF
+	for i := 0; i <= last; i++ {
+		l := lev[scan[i]]
+		if l == 0 {
+			bitsEst += 0.6
+			continue
+		}
+		a := l
+		if a < 0 {
+			a = -a
+		}
+		bitsEst += 2.0 // sig + sign
+		if a > 1 {
+			bitsEst += 1
+		}
+		if a > 2 {
+			bitsEst += float64(egLen(uint32(a-3), 0))
+		}
+	}
+	bitsEst += float64(len(scan)-1-last) * 0.08
+	return bitsEst
+}
+
+// zigzagU maps a signed value to unsigned for Exp-Golomb coding.
+func zigzagU(v int32) uint32 {
+	if v >= 0 {
+		return uint32(v) << 1
+	}
+	return uint32(-v)<<1 - 1
+}
+
+func unzigzag(u uint32) int32 {
+	if u&1 == 0 {
+		return int32(u >> 1)
+	}
+	return -int32(u+1) >> 1
+}
+
+// emitCU serializes a decided CU tree.
+func (e *encoder) emitCU(d *cuDec, x, y, size, depth int) {
+	switch e.splitKindFor(size) {
+	case splitForced:
+		// no flag
+	case splitSignaled:
+		b := 0
+		if d.split {
+			b = 1
+		}
+		e.bw.bit(&e.ctx.split[min(depth, len(e.ctx.split)-1)], b)
+	case splitLeafOnly:
+		// no flag, leaf guaranteed
+	}
+	if d.split {
+		h := size / 2
+		for i := 0; i < 4; i++ {
+			e.emitCU(d.children[i], x+(i%2)*h, y+(i/2)*h, h, depth+1)
+		}
+		return
+	}
+	e.emitLeaf(d, size)
+}
+
+func (e *encoder) emitLeaf(d *cuDec, size int) {
+	if e.tools.InterPred && e.fIdx > 0 {
+		b := 0
+		if d.inter {
+			b = 1
+		}
+		e.bw.bit(&e.ctx.interFlag, b)
+	}
+	if d.inter {
+		egEncode(e.bw, zigzagU(d.mvx), 1)
+		egEncode(e.bw, zigzagU(d.mvy), 1)
+	} else if e.tools.IntraPred {
+		same := 0
+		if d.mode == e.prevModeEmit {
+			same = 1
+		}
+		e.bw.bit(&e.ctx.modeSame, same)
+		if same == 0 {
+			idx := e.modeIndex(d.mode)
+			e.bw.bypassBits(uint32(idx), modeIdxBits(len(e.prof.Modes)))
+		}
+		e.prevModeEmit = d.mode
+	}
+	e.emitResidual(d.levels, size, e.tools.Transform)
+}
+
+func (e *encoder) modeIndex(m intra.Mode) int {
+	for i, mm := range e.prof.Modes {
+		if mm == m {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("codec: mode %d not in profile", m))
+}
+
+// modeIdxBits is the fixed bypass width for a mode index.
+func modeIdxBits(n int) uint {
+	b := uint(0)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+func (e *encoder) emitResidual(lev []int32, size int, transformed bool) {
+	si := sizeIdx(size)
+	scan := scanOrder(size)
+	if !transformed {
+		scan = rasterOrder(size)
+	}
+	cbf := 0
+	for _, l := range lev {
+		if l != 0 {
+			cbf = 1
+			break
+		}
+	}
+	e.bw.bit(&e.ctx.cbf[si], cbf)
+	if cbf == 0 {
+		return
+	}
+	k := uint(0)
+	for _, pos := range scan {
+		l := lev[pos]
+		sig := 0
+		if l != 0 {
+			sig = 1
+		}
+		e.bw.bit(&e.ctx.sig[si][diagBin(pos, size)], sig)
+		if sig == 0 {
+			continue
+		}
+		a := l
+		if a < 0 {
+			a = -a
+		}
+		g1 := 0
+		if a > 1 {
+			g1 = 1
+		}
+		e.bw.bit(&e.ctx.g1[si], g1)
+		if g1 == 1 {
+			g2 := 0
+			if a > 2 {
+				g2 = 1
+			}
+			e.bw.bit(&e.ctx.g2[si], g2)
+			if g2 == 1 {
+				rem := uint32(a - 3)
+				egEncode(e.bw, rem, k)
+				if rem > 3<<k && k < 4 {
+					k++
+				}
+			}
+		}
+		sign := 0
+		if l < 0 {
+			sign = 1
+		}
+		e.bw.bypass(sign)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

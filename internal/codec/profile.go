@@ -1,0 +1,114 @@
+// Package codec implements the intra-only block video codec at the heart of
+// LLM.265: CTU quadtree partitioning, intra prediction, integer transform
+// coding, QP quantization and CABAC entropy coding, plus an optional
+// inter-frame (motion compensated) mode used to reproduce the paper's
+// negative result that inter prediction does not help tensors (§3.1).
+//
+// The encoder is two-phase per CTU: a decision phase searches the quadtree
+// and prediction modes with rate-distortion estimates while maintaining the
+// reconstruction plane, and an emission phase serializes the chosen decisions
+// through the (context-adaptive) bin coder. The decoder mirrors the emission
+// phase exactly, so encoder and decoder reconstructions are bit-identical.
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/intra"
+)
+
+// Profile selects the coding tool set, mirroring the three hardware codecs
+// the paper evaluates (Fig. 6): H.264-like, H.265/HEVC-like and AV1-like.
+type Profile struct {
+	Name         string
+	CTUSize      int          // coding tree unit edge (largest block)
+	MinCUSize    int          // smallest coding unit edge
+	Modes        []intra.Mode // allowed intra modes
+	MaxTransform int          // largest transform size
+	UseDST4      bool         // DST-VII for 4×4 intra residuals
+	RefSmoothing bool         // [1 2 1] reference smoothing
+	MaxFrameDim  int          // hardware frame-size limit (per Table 2)
+}
+
+// Predefined profiles. Numbers follow the paper's Table 2: H.264 engines
+// handle up to 4K frames, H.265 and AV1 up to 8K.
+var (
+	H264 = Profile{
+		Name: "H.264", CTUSize: 16, MinCUSize: 4,
+		Modes: intra.H264Modes, MaxTransform: 8,
+		UseDST4: false, RefSmoothing: false, MaxFrameDim: 4096,
+	}
+	HEVC = Profile{
+		Name: "H.265", CTUSize: 32, MinCUSize: 8,
+		Modes: intra.HEVCModes, MaxTransform: 32,
+		UseDST4: true, RefSmoothing: true, MaxFrameDim: 8192,
+	}
+	AV1 = Profile{
+		Name: "AV1", CTUSize: 32, MinCUSize: 8,
+		Modes: intra.AV1Modes, MaxTransform: 32,
+		UseDST4: true, RefSmoothing: true, MaxFrameDim: 8192,
+	}
+)
+
+// profileByID maps the on-wire profile identifier to a Profile.
+var profileByID = map[uint8]Profile{0: H264, 1: HEVC, 2: AV1}
+
+func (p Profile) id() uint8 {
+	switch p.Name {
+	case "H.264":
+		return 0
+	case "H.265":
+		return 1
+	case "AV1":
+		return 2
+	}
+	panic(fmt.Sprintf("codec: unknown profile %q", p.Name))
+}
+
+// Tools toggles individual pipeline stages, enabling the Fig. 2(b) ablation.
+// The all-true value is the full codec.
+type Tools struct {
+	Partitioning bool // RD quadtree splitting (else fixed 16×16 CUs)
+	Transform    bool // DCT/DST transform (else spatial-domain quantization)
+	IntraPred    bool // intra prediction (else constant mid-gray predictor)
+	InterPred    bool // motion-compensated P-frames (hurts tensors)
+	CABAC        bool // arithmetic coding (else fixed/VLC bin writing)
+}
+
+// AllTools is the full intra pipeline the paper ships (inter disabled, per
+// §3.2: "LLM.265 enforces an intra-frame-only encoding").
+var AllTools = Tools{Partitioning: true, Transform: true, IntraPred: true, CABAC: true}
+
+// toolsBits packs Tools into a byte for the bitstream header.
+func (t Tools) bits() uint8 {
+	var b uint8
+	if t.Partitioning {
+		b |= 1
+	}
+	if t.Transform {
+		b |= 2
+	}
+	if t.IntraPred {
+		b |= 4
+	}
+	if t.InterPred {
+		b |= 8
+	}
+	if t.CABAC {
+		b |= 16
+	}
+	return b
+}
+
+func toolsFromBits(b uint8) Tools {
+	return Tools{
+		Partitioning: b&1 != 0,
+		Transform:    b&2 != 0,
+		IntraPred:    b&4 != 0,
+		InterPred:    b&8 != 0,
+		CABAC:        b&16 != 0,
+	}
+}
+
+// fixedCUSize is the block size used when Partitioning is disabled.
+const fixedCUSize = 16

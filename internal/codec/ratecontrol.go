@@ -1,0 +1,94 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dct"
+	"repro/internal/frame"
+)
+
+// EncodeToBitrate searches QP so the encoded size lands at or under
+// targetBPP (bits per pixel), as close to it as possible. This implements
+// the paper's fractional-bitrate control (§4.1): the codec accepts arbitrary
+// non-integer budgets like 2.3 bits/value.
+//
+// BPP is monotonically non-increasing in QP, so a bisection over the QP range
+// suffices. Returns the bitstream, its stats and the chosen QP.
+func EncodeToBitrate(planes []*frame.Plane, targetBPP float64, prof Profile, tools Tools) ([]byte, Stats, int, error) {
+	if targetBPP <= 0 {
+		return nil, Stats{}, 0, fmt.Errorf("codec: target bitrate %.3f must be positive", targetBPP)
+	}
+	lo, hi := 0, dct.MaxQP
+	var (
+		bestData []byte
+		bestSt   Stats
+		bestQP   = -1
+	)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		data, st, err := Encode(planes, mid, prof, tools)
+		if err != nil {
+			return nil, Stats{}, 0, err
+		}
+		if st.BitsPerPixel <= targetBPP {
+			// Feasible: remember it, then try lower QP (more bits, better
+			// quality) while staying within budget.
+			if bestQP == -1 || st.BitsPerPixel > bestSt.BitsPerPixel {
+				bestData, bestSt, bestQP = data, st, mid
+			}
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestQP == -1 {
+		// Even QP 51 exceeds the budget; return the smallest stream.
+		data, st, err := Encode(planes, dct.MaxQP, prof, tools)
+		if err != nil {
+			return nil, Stats{}, 0, err
+		}
+		return data, st, dct.MaxQP, nil
+	}
+	return bestData, bestSt, bestQP, nil
+}
+
+// EncodeToMSE finds the cheapest encode (largest QP) whose pixel-domain MSE
+// stays at or below maxMSE — the constraint used for the paper's Fig. 2(b)
+// ablation (MSE < 0.01 in the normalized tensor domain maps to a pixel-MSE
+// budget chosen by the caller).
+func EncodeToMSE(planes []*frame.Plane, maxMSE float64, prof Profile, tools Tools) ([]byte, Stats, int, error) {
+	if maxMSE < 0 {
+		return nil, Stats{}, 0, errors.New("codec: negative MSE budget")
+	}
+	lo, hi := 0, dct.MaxQP
+	var (
+		bestData []byte
+		bestSt   Stats
+		bestQP   = -1
+	)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		data, st, err := Encode(planes, mid, prof, tools)
+		if err != nil {
+			return nil, Stats{}, 0, err
+		}
+		if st.MSE <= maxMSE {
+			if bestQP == -1 || mid > bestQP {
+				bestData, bestSt, bestQP = data, st, mid
+			}
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if bestQP == -1 {
+		// Even QP 0 misses the budget; return the best-quality stream.
+		data, st, err := Encode(planes, 0, prof, tools)
+		if err != nil {
+			return nil, Stats{}, 0, err
+		}
+		return data, st, 0, nil
+	}
+	return bestData, bestSt, bestQP, nil
+}

@@ -1,0 +1,69 @@
+package codec
+
+import "sync"
+
+// scanOrder returns the zigzag coefficient scan for an n×n block: positions
+// ordered by anti-diagonal from the DC corner, which fronts the low-frequency
+// coefficients where the energy concentrates after the transform.
+func scanOrder(n int) []int {
+	scanMu.Lock()
+	defer scanMu.Unlock()
+	if s, ok := scanCache[n]; ok {
+		return s
+	}
+	s := make([]int, 0, n*n)
+	for d := 0; d <= 2*(n-1); d++ {
+		if d%2 == 0 {
+			// Walk up-right.
+			y := d
+			if y > n-1 {
+				y = n - 1
+			}
+			x := d - y
+			for x < n && y >= 0 {
+				s = append(s, y*n+x)
+				x++
+				y--
+			}
+		} else {
+			// Walk down-left.
+			x := d
+			if x > n-1 {
+				x = n - 1
+			}
+			y := d - x
+			for y < n && x >= 0 {
+				s = append(s, y*n+x)
+				y++
+				x--
+			}
+		}
+	}
+	scanCache[n] = s
+	return s
+}
+
+var (
+	scanMu    sync.Mutex
+	scanCache = map[int][]int{}
+)
+
+// rasterOrder returns the raster scan (used when the transform stage is
+// disabled and residuals are coded in the spatial domain).
+func rasterOrder(n int) []int {
+	s := make([]int, n*n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// diagBin maps a scan position's anti-diagonal to a context bin in [0, 8].
+func diagBin(pos, n int) int {
+	d := pos/n + pos%n
+	b := d * 9 / (2*n - 1)
+	if b > 8 {
+		b = 8
+	}
+	return b
+}

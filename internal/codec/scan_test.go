@@ -1,0 +1,114 @@
+package codec
+
+import "testing"
+
+func TestScanOrderIsPermutation(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		s := scanOrder(n)
+		if len(s) != n*n {
+			t.Fatalf("n=%d: scan length %d", n, len(s))
+		}
+		seen := make([]bool, n*n)
+		for _, p := range s {
+			if p < 0 || p >= n*n || seen[p] {
+				t.Fatalf("n=%d: bad or duplicate position %d", n, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestScanOrderFrontsLowFrequencies(t *testing.T) {
+	// The scan must start at DC and visit anti-diagonals in order.
+	for _, n := range []int{4, 8, 16, 32} {
+		s := scanOrder(n)
+		if s[0] != 0 {
+			t.Fatalf("n=%d: scan does not start at DC", n)
+		}
+		prevDiag := 0
+		for _, p := range s {
+			d := p/n + p%n
+			if d < prevDiag {
+				t.Fatalf("n=%d: diagonal decreased (%d after %d)", n, d, prevDiag)
+			}
+			if d > prevDiag+1 {
+				t.Fatalf("n=%d: diagonal skipped (%d after %d)", n, d, prevDiag)
+			}
+			prevDiag = d
+		}
+	}
+}
+
+func TestRasterOrder(t *testing.T) {
+	s := rasterOrder(4)
+	for i, p := range s {
+		if p != i {
+			t.Fatalf("raster[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestDiagBinRange(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		for pos := 0; pos < n*n; pos++ {
+			b := diagBin(pos, n)
+			if b < 0 || b > 8 {
+				t.Fatalf("n=%d pos=%d: bin %d out of range", n, pos, b)
+			}
+		}
+		if diagBin(0, n) != 0 {
+			t.Fatalf("n=%d: DC not in bin 0", n)
+		}
+		// The highest-frequency position must land in the highest bin used.
+		hi := diagBin(n*n-1, n)
+		for pos := 0; pos < n*n; pos++ {
+			if diagBin(pos, n) > hi {
+				t.Fatalf("n=%d: position %d outranks the corner bin", n, pos)
+			}
+		}
+	}
+}
+
+func TestToolsBitsRoundTrip(t *testing.T) {
+	for b := uint8(0); b < 32; b++ {
+		tools := toolsFromBits(b)
+		if got := tools.bits(); got != b {
+			t.Fatalf("tools bits %05b -> %05b", b, got)
+		}
+	}
+}
+
+func TestProfileIDs(t *testing.T) {
+	for _, p := range []Profile{H264, HEVC, AV1} {
+		got, ok := profileByID[p.id()]
+		if !ok || got.Name != p.Name {
+			t.Fatalf("profile %s does not round-trip through its id", p.Name)
+		}
+	}
+}
+
+func TestEstimateLevelBitsMonotone(t *testing.T) {
+	// More/larger coefficients must never be estimated cheaper than an
+	// empty block.
+	empty := make([]int32, 64)
+	one := make([]int32, 64)
+	one[0] = 1
+	big := make([]int32, 64)
+	for i := range big {
+		big[i] = int32(i%7) - 3
+	}
+	e0 := estimateLevelBits(empty, 8, true)
+	e1 := estimateLevelBits(one, 8, true)
+	e2 := estimateLevelBits(big, 8, true)
+	if !(e0 < e1 && e1 < e2) {
+		t.Fatalf("estimates not monotone: %f %f %f", e0, e1, e2)
+	}
+}
+
+func TestZigzagMapping(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 2, -2, 1000, -1000} {
+		if got := unzigzag(zigzagU(v)); got != v {
+			t.Fatalf("zigzag roundtrip %d -> %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/quant"
+)
+
+// Options configures the tensor codec.
+type Options struct {
+	Profile codec.Profile
+	Tools   codec.Tools
+	// MaxFrameW/H bound the frames a tensor is chunked into (the NVENC
+	// frame-size limit, §3.2). Values above the profile limit are clamped.
+	MaxFrameW, MaxFrameH int
+	// PerRowQuant applies the 8-bit affine mapping per row instead of per
+	// tensor. Per-tensor (the default) preserves the channel-wise image
+	// structure intra prediction exploits; per-row trades that for finer
+	// quantization and suits outlier-heavy activations.
+	PerRowQuant bool
+}
+
+// DefaultOptions returns the paper's shipping configuration: H.265 profile
+// (most widely available, highest throughput — §4.1.1), intra-only tools.
+func DefaultOptions() Options {
+	return Options{
+		Profile:   codec.HEVC,
+		Tools:     codec.AllTools,
+		MaxFrameW: 1024,
+		MaxFrameH: 1024,
+	}
+}
+
+func (o Options) normalized() Options {
+	if o.Profile.Name == "" {
+		o.Profile = codec.HEVC
+	}
+	if o.MaxFrameW <= 0 {
+		o.MaxFrameW = 1024
+	}
+	if o.MaxFrameH <= 0 {
+		o.MaxFrameH = 1024
+	}
+	if o.MaxFrameW > o.Profile.MaxFrameDim {
+		o.MaxFrameW = o.Profile.MaxFrameDim
+	}
+	if o.MaxFrameH > o.Profile.MaxFrameDim {
+		o.MaxFrameH = o.Profile.MaxFrameDim
+	}
+	return o
+}
+
+// Encoded is a compressed tensor stack: the codec bitstream plus the affine
+// dequantization metadata. Its size accounting includes that metadata, so
+// BitsPerValue reflects true storage cost.
+type Encoded struct {
+	Layers, Rows, Cols   int
+	PerRow               bool
+	MaxFrameW, MaxFrameH int
+	QP                   int
+	Stream               []byte
+	Scales, Zeros        []float32 // per layer, or per layer×row when PerRow
+}
+
+// SizeBits reports the total compressed size in bits, metadata included.
+func (e *Encoded) SizeBits() int {
+	return len(e.Stream)*8 + 32*(len(e.Scales)+len(e.Zeros)) + 14*8 // fixed header
+}
+
+// BitsPerValue reports SizeBits divided by the element count.
+func (e *Encoded) BitsPerValue() float64 {
+	return float64(e.SizeBits()) / float64(e.Layers*e.Rows*e.Cols)
+}
+
+// EncodeStack compresses a stack of equally-shaped layer tensors as one
+// multi-frame sequence at the given QP (the paper's footnote-1 construction:
+// layer index as the temporal axis, luma only).
+func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
+	o = o.normalized()
+	if len(stack) == 0 {
+		return nil, errors.New("core: empty stack")
+	}
+	rows, cols := stack[0].Rows, stack[0].Cols
+	for _, t := range stack {
+		if t.Rows != rows || t.Cols != cols {
+			return nil, fmt.Errorf("core: stack shapes differ: %dx%d vs %dx%d", t.Rows, t.Cols, rows, cols)
+		}
+	}
+	enc := &Encoded{
+		Layers: len(stack), Rows: rows, Cols: cols,
+		PerRow:    o.PerRowQuant,
+		MaxFrameW: o.MaxFrameW, MaxFrameH: o.MaxFrameH,
+		QP: qp,
+	}
+	var planes []*frame.Plane
+	for _, t := range stack {
+		pix := make([]uint8, rows*cols)
+		if o.PerRowQuant {
+			for r := 0; r < rows; r++ {
+				rowPix, s, z := quant.ToUint8(t.Data[r*cols : (r+1)*cols])
+				copy(pix[r*cols:(r+1)*cols], rowPix)
+				enc.Scales = append(enc.Scales, s)
+				enc.Zeros = append(enc.Zeros, z)
+			}
+		} else {
+			p, s, z := quant.ToUint8(t.Data)
+			pix = p
+			enc.Scales = append(enc.Scales, s)
+			enc.Zeros = append(enc.Zeros, z)
+		}
+		planes = append(planes, frame.FromMatrix(pix, rows, cols, o.MaxFrameW, o.MaxFrameH)...)
+	}
+	stream, _, err := codec.Encode(planes, qp, o.Profile, o.Tools)
+	if err != nil {
+		return nil, err
+	}
+	enc.Stream = stream
+	return enc, nil
+}
+
+// Encode compresses a single tensor.
+func (o Options) Encode(t *Tensor, qp int) (*Encoded, error) {
+	return o.EncodeStack([]*Tensor{t}, qp)
+}
+
+// DecodeStack reconstructs the tensor stack from an Encoded.
+func (o Options) DecodeStack(e *Encoded) ([]*Tensor, error) {
+	o = o.normalized()
+	planes, err := codec.Decode(e.Stream)
+	if err != nil {
+		return nil, err
+	}
+	perLayer := len(planes) / e.Layers
+	if perLayer*e.Layers != len(planes) {
+		return nil, errors.New("core: frame count does not divide layers")
+	}
+	out := make([]*Tensor, e.Layers)
+	for l := 0; l < e.Layers; l++ {
+		pix := frame.ToMatrix(planes[l*perLayer:(l+1)*perLayer], e.Rows, e.Cols, e.MaxFrameW, e.MaxFrameH)
+		t := NewTensor(e.Rows, e.Cols)
+		if e.PerRow {
+			for r := 0; r < e.Rows; r++ {
+				vals := quant.FromUint8(pix[r*e.Cols:(r+1)*e.Cols],
+					e.Scales[l*e.Rows+r], e.Zeros[l*e.Rows+r])
+				copy(t.Data[r*e.Cols:(r+1)*e.Cols], vals)
+			}
+		} else {
+			copy(t.Data, quant.FromUint8(pix, e.Scales[l], e.Zeros[l]))
+		}
+		out[l] = t
+	}
+	return out, nil
+}
+
+// Decode reconstructs a single tensor.
+func (o Options) Decode(e *Encoded) (*Tensor, error) {
+	ts, err := o.DecodeStack(e)
+	if err != nil {
+		return nil, err
+	}
+	return ts[0], nil
+}
+
+// Roundtrip encodes and decodes t at qp, returning the reconstruction and
+// the achieved bits per value.
+func (o Options) Roundtrip(t *Tensor, qp int) (*Tensor, float64, error) {
+	e, err := o.Encode(t, qp)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := o.Decode(e)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, e.BitsPerValue(), nil
+}
+
+// EncodeToBitrate finds the best-quality encode whose total cost (metadata
+// included) stays at or below bitsPerValue — the paper's fractional-bitrate
+// interface. Returns the encode and chosen QP.
+func (o Options) EncodeToBitrate(t *Tensor, bitsPerValue float64) (*Encoded, error) {
+	return o.EncodeStackToBitrate([]*Tensor{t}, bitsPerValue)
+}
+
+// EncodeStackToBitrate is EncodeToBitrate over a layer stack.
+func (o Options) EncodeStackToBitrate(stack []*Tensor, bitsPerValue float64) (*Encoded, error) {
+	if bitsPerValue <= 0 {
+		return nil, fmt.Errorf("core: bits-per-value target %.3f must be positive", bitsPerValue)
+	}
+	lo, hi := 0, dct.MaxQP
+	var best *Encoded
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		e, err := o.EncodeStack(stack, mid)
+		if err != nil {
+			return nil, err
+		}
+		if e.BitsPerValue() <= bitsPerValue {
+			if best == nil || e.BitsPerValue() > best.BitsPerValue() {
+				best = e
+			}
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// Even the coarsest QP exceeds the budget; return it anyway so the
+		// caller sees the floor.
+		return o.EncodeStack(stack, dct.MaxQP)
+	}
+	return best, nil
+}
+
+// EncodeToMSE finds the cheapest encode whose reconstruction MSE (in the
+// tensor's value domain) stays at or below maxMSE — the Fig. 2(b) quality
+// constraint (MSE < 0.01).
+func (o Options) EncodeToMSE(t *Tensor, maxMSE float64) (*Encoded, *Tensor, error) {
+	lo, hi := 0, dct.MaxQP
+	var (
+		best    *Encoded
+		bestDec *Tensor
+	)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		e, err := o.Encode(t, mid)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := o.Decode(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.MSE(d) <= maxMSE {
+			if best == nil || mid > best.QP {
+				best, bestDec = e, d
+			}
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best == nil {
+		e, err := o.Encode(t, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := o.Decode(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, d, nil
+	}
+	return best, bestDec, nil
+}
+
+// EncodeStackToMSE finds the cheapest stack encode whose mean reconstruction
+// MSE (value domain, averaged over layers) stays at or below maxMSE — the
+// multi-frame form of EncodeToMSE used by the Fig. 2(b) ablation.
+func (o Options) EncodeStackToMSE(stack []*Tensor, maxMSE float64) (*Encoded, float64, error) {
+	measure := func(e *Encoded) (float64, error) {
+		dec, err := o.DecodeStack(e)
+		if err != nil {
+			return 0, err
+		}
+		var s float64
+		for i := range dec {
+			s += stack[i].MSE(dec[i])
+		}
+		return s / float64(len(dec)), nil
+	}
+	lo, hi := 0, dct.MaxQP
+	var (
+		best    *Encoded
+		bestMSE float64
+	)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		e, err := o.EncodeStack(stack, mid)
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := measure(e)
+		if err != nil {
+			return nil, 0, err
+		}
+		if m <= maxMSE {
+			if best == nil || mid > best.QP {
+				best, bestMSE = e, m
+			}
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best == nil {
+		e, err := o.EncodeStack(stack, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := measure(e)
+		if err != nil {
+			return nil, 0, err
+		}
+		return e, m, nil
+	}
+	return best, bestMSE, nil
+}
+
+// Marshal serializes an Encoded to a portable byte stream (the .l265
+// container used by cmd/llm265).
+func (e *Encoded) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("L265T\x01")
+	binary.Write(&buf, binary.BigEndian, uint32(e.Layers))
+	binary.Write(&buf, binary.BigEndian, uint32(e.Rows))
+	binary.Write(&buf, binary.BigEndian, uint32(e.Cols))
+	perRow := uint8(0)
+	if e.PerRow {
+		perRow = 1
+	}
+	buf.WriteByte(perRow)
+	binary.Write(&buf, binary.BigEndian, uint32(e.MaxFrameW))
+	binary.Write(&buf, binary.BigEndian, uint32(e.MaxFrameH))
+	buf.WriteByte(uint8(e.QP))
+	binary.Write(&buf, binary.BigEndian, uint32(len(e.Scales)))
+	for i := range e.Scales {
+		binary.Write(&buf, binary.BigEndian, math.Float32bits(e.Scales[i]))
+		binary.Write(&buf, binary.BigEndian, math.Float32bits(e.Zeros[i]))
+	}
+	binary.Write(&buf, binary.BigEndian, uint32(len(e.Stream)))
+	buf.Write(e.Stream)
+	return buf.Bytes()
+}
+
+// UnmarshalEncoded parses a stream produced by Marshal.
+func UnmarshalEncoded(data []byte) (*Encoded, error) {
+	r := bytes.NewReader(data)
+	hdr := make([]byte, 6)
+	if _, err := r.Read(hdr); err != nil || string(hdr) != "L265T\x01" {
+		return nil, errors.New("core: bad container header")
+	}
+	var u32 = func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.BigEndian, &v)
+		return v, err
+	}
+	e := &Encoded{}
+	var err error
+	var v uint32
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	e.Layers = int(v)
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	e.Rows = int(v)
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	e.Cols = int(v)
+	b, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	e.PerRow = b == 1
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	e.MaxFrameW = int(v)
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	e.MaxFrameH = int(v)
+	if b, err = r.ReadByte(); err != nil {
+		return nil, err
+	}
+	e.QP = int(b)
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	n := int(v)
+	if n < 0 || n > 1<<24 {
+		return nil, errors.New("core: bad metadata count")
+	}
+	e.Scales = make([]float32, n)
+	e.Zeros = make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s, z uint32
+		if err := binary.Read(r, binary.BigEndian, &s); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.BigEndian, &z); err != nil {
+			return nil, err
+		}
+		e.Scales[i] = math.Float32frombits(s)
+		e.Zeros[i] = math.Float32frombits(z)
+	}
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	e.Stream = make([]byte, v)
+	if _, err := r.Read(e.Stream); err != nil && int(v) > 0 {
+		return nil, err
+	}
+	if e.Layers <= 0 || e.Rows <= 0 || e.Cols <= 0 {
+		return nil, errors.New("core: bad dimensions")
+	}
+	return e, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"repro/internal/dct"
+	"repro/internal/quant"
+)
+
+// RateController amortizes QP search across repeated encodes of
+// similarly-distributed tensors (e.g. the per-step gradients of a training
+// run): the first call bisects, later calls nudge the QP by one step when
+// the achieved rate drifts from the target. This mirrors how a hardware
+// encoder's rate control tracks a bitrate target across frames.
+type RateController struct {
+	Opts   Options
+	Target float64 // bits per value
+
+	qp     int
+	primed bool
+}
+
+// NewRateController returns a controller targeting bitsPerValue.
+func NewRateController(opts Options, bitsPerValue float64) *RateController {
+	return &RateController{Opts: opts, Target: bitsPerValue}
+}
+
+// Encode compresses t near the bitrate target and returns the encode.
+func (rc *RateController) Encode(t *Tensor) (*Encoded, error) {
+	if !rc.primed {
+		e, err := rc.Opts.EncodeToBitrate(t, rc.Target)
+		if err != nil {
+			return nil, err
+		}
+		rc.qp = e.QP
+		rc.primed = true
+		return e, nil
+	}
+	e, err := rc.Opts.Encode(t, rc.qp)
+	if err != nil {
+		return nil, err
+	}
+	// Large drift (the input distribution shifted): fall back to a full
+	// bisection for this tensor and adopt its QP.
+	if e.BitsPerValue() > rc.Target*1.2 || e.BitsPerValue() < rc.Target*0.55 {
+		e, err = rc.Opts.EncodeToBitrate(t, rc.Target)
+		if err != nil {
+			return nil, err
+		}
+		rc.qp = e.QP
+		return e, nil
+	}
+	// Small drift: nudge one QP step for the next call.
+	if e.BitsPerValue() > rc.Target && rc.qp < dct.MaxQP {
+		rc.qp++
+	} else if e.BitsPerValue() < rc.Target*0.85 && rc.qp > 0 {
+		rc.qp--
+	}
+	return e, nil
+}
+
+// Roundtrip compresses and reconstructs t, returning the reconstruction and
+// achieved bits per value.
+func (rc *RateController) Roundtrip(t *Tensor) (*Tensor, float64, error) {
+	e, err := rc.Encode(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := rc.Opts.Decode(e)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, e.BitsPerValue(), nil
+}
+
+// GradientCompressor implements the paper's residual-compensation gradient
+// compression (§5.1): the gradient is compressed to PrimaryBits, then the
+// residual G − Comp(G) is compressed too — with LLM.265 at ResidualBits for
+// the first SwitchStep steps, and with 8-bit RTN afterwards (needed because
+// gradient range variance grows by orders of magnitude as training
+// progresses).
+type GradientCompressor struct {
+	Opts         Options
+	PrimaryBits  float64 // e.g. 3.5
+	ResidualBits float64 // e.g. 3.5
+	SwitchStep   int     // e.g. 2500
+	RTNBits      int     // e.g. 8
+
+	step      int
+	primaryRC *RateController
+	residRC   *RateController
+	totalBits float64
+	totalVals float64
+}
+
+// NewGradientCompressor returns a compressor with the paper's settings.
+func NewGradientCompressor(opts Options, primaryBits, residualBits float64, switchStep, rtnBits int) *GradientCompressor {
+	return &GradientCompressor{
+		Opts:         opts,
+		PrimaryBits:  primaryBits,
+		ResidualBits: residualBits,
+		SwitchStep:   switchStep,
+		RTNBits:      rtnBits,
+		primaryRC:    NewRateController(opts, primaryBits),
+		residRC:      NewRateController(opts, residualBits),
+	}
+}
+
+// Step reports how many gradients have been compressed.
+func (g *GradientCompressor) Step() int { return g.step }
+
+// AverageBits reports the running average bits per value across all steps
+// (the paper reports 10.1 bits for its 8000-step run).
+func (g *GradientCompressor) AverageBits() float64 {
+	if g.totalVals == 0 {
+		return 0
+	}
+	return g.totalBits / g.totalVals
+}
+
+// Compress compresses grad with residual compensation, returning what the
+// receiving worker reconstructs plus this step's bits per value.
+func (g *GradientCompressor) Compress(grad *Tensor) (*Tensor, float64, error) {
+	primary, pBits, err := g.primaryRC.Roundtrip(grad)
+	if err != nil {
+		return nil, 0, err
+	}
+	resid := grad.Clone()
+	for i := range resid.Data {
+		resid.Data[i] -= primary.Data[i]
+	}
+	var rRec []float32
+	var rBits float64
+	if g.step < g.SwitchStep {
+		rec, bits, err := g.residRC.Roundtrip(resid)
+		if err != nil {
+			return nil, 0, err
+		}
+		rRec, rBits = rec.Data, bits
+	} else {
+		rRec = quant.RTNAsymmetric(resid.Data, g.RTNBits)
+		rBits = float64(g.RTNBits)
+	}
+	out := NewTensor(grad.Rows, grad.Cols)
+	for i := range out.Data {
+		out.Data[i] = primary.Data[i] + rRec[i]
+	}
+	g.step++
+	stepBits := pBits + rBits
+	g.totalBits += stepBits * float64(grad.Numel())
+	g.totalVals += float64(grad.Numel())
+	return out, stepBits, nil
+}

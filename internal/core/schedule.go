@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// VariableSchedule returns per-layer bit budgets following the paper's
+// variable bit-width rule (§4.1 footnote 2): B_l = k·l + b, with b chosen so
+// the average over layers equals avgBits. Budgets are floored at minBits so
+// a steep slope cannot drive a layer to zero.
+func VariableSchedule(layers int, avgBits, k, minBits float64) []float64 {
+	if layers <= 0 {
+		panic("core: layers must be positive")
+	}
+	b := avgBits - k*float64(layers-1)/2
+	out := make([]float64, layers)
+	var sum float64
+	for l := range out {
+		v := k*float64(l) + b
+		if v < minBits {
+			v = minBits
+		}
+		out[l] = v
+		sum += v
+	}
+	// Renormalize after flooring so the average matches the budget (floored
+	// layers keep their floor; the remainder is spread proportionally).
+	excess := sum - avgBits*float64(layers)
+	if excess > 0 {
+		var adjustable float64
+		for _, v := range out {
+			if v > minBits {
+				adjustable += v - minBits
+			}
+		}
+		if adjustable > 0 {
+			f := excess / adjustable
+			for l, v := range out {
+				if v > minBits {
+					out[l] = v - (v-minBits)*f
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SearchVariableSchedule sweeps the slope k over candidates and returns the
+// schedule minimizing eval (lower is better, e.g. perplexity or negative
+// accuracy). The k=0 candidate is always included, so the result never loses
+// to the fixed-bit-width baseline under the same eval.
+func SearchVariableSchedule(layers int, avgBits float64, ks []float64, eval func(budgets []float64) float64) ([]float64, float64, error) {
+	if len(ks) == 0 {
+		return nil, 0, fmt.Errorf("core: no slope candidates")
+	}
+	hasZero := false
+	for _, k := range ks {
+		if k == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		ks = append([]float64{0}, ks...)
+	}
+	var (
+		best      []float64
+		bestK     float64
+		bestScore = 0.0
+		first     = true
+	)
+	for _, k := range ks {
+		sched := VariableSchedule(layers, avgBits, k, 0.4)
+		score := eval(sched)
+		if first || score < bestScore {
+			best, bestK, bestScore, first = sched, k, score, false
+		}
+	}
+	_ = bestK
+	return best, bestScore, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensorgen"
+)
+
+func TestEncodeStackToMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	raw := tensorgen.WeightStack(rng, 3, 64, 64, 0)
+	stack := make([]*Tensor, len(raw))
+	var variance float64
+	var n int
+	for i, d := range raw {
+		stack[i] = FromSlice(64, 64, d)
+		for _, v := range d {
+			variance += float64(v) * float64(v)
+			n++
+		}
+	}
+	variance /= float64(n)
+
+	o := DefaultOptions()
+	budget := 0.01 * variance
+	e, mse, err := o.EncodeStackToMSE(stack, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > budget {
+		t.Fatalf("achieved MSE %.3g exceeds budget %.3g", mse, budget)
+	}
+	// The reported MSE must match a fresh decode.
+	dec, err := o.DecodeStack(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for i := range dec {
+		got += stack[i].MSE(dec[i])
+	}
+	got /= float64(len(dec))
+	if got != mse {
+		t.Fatalf("reported MSE %.6g != measured %.6g", mse, got)
+	}
+
+	// Loose budgets must not cost more bits than tight ones.
+	e2, _, err := o.EncodeStackToMSE(stack, budget*20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.BitsPerValue() > e.BitsPerValue() {
+		t.Fatalf("loose budget used more bits: %.3f > %.3f", e2.BitsPerValue(), e.BitsPerValue())
+	}
+}
+
+func TestEncodeStackToMSEUnreachableBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	w := FromSlice(32, 32, tensorgen.Weights(rng, 32, 32))
+	o := DefaultOptions()
+	// An impossible budget returns the best-effort QP-0 encode.
+	e, mse, err := o.EncodeStackToMSE([]*Tensor{w}, 1e-30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.QP != 0 {
+		t.Fatalf("unreachable budget should fall back to QP 0, got %d", e.QP)
+	}
+	if mse <= 0 {
+		t.Fatal("fallback must report its achieved MSE")
+	}
+}

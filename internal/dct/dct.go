@@ -1,0 +1,281 @@
+// Package dct implements the transform-coding stage of the codec: integer
+// DCT-II transforms of sizes 4, 8, 16 and 32 (plus the DST-VII used for 4×4
+// intra blocks, mirroring HEVC), together with the QP-driven scalar quantizer
+// Qstep = 2^((QP-4)/6).
+//
+// Convention. Each transform holds a fixed-point version of the orthonormal
+// transform matrix, A = round(D · 2^matrixBits) where D is orthonormal. The
+// forward transform returns coefficients scaled by 2^coefBits relative to the
+// orthonormal transform of the input, and the inverse undoes both scales.
+// Keeping the matrices orthonormal (rather than HEVC's hand-tuned integers)
+// preserves the energy-compaction behaviour the paper analyzes (§3.1,
+// Fig. 3) while making round-trip bounds easy to reason about.
+package dct
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	matrixBits = 10 // fractional bits in the fixed-point transform matrices
+	coefBits   = 6  // coefficients carry an extra 2^6 scale vs orthonormal
+)
+
+// Transform is a 2-D separable integer transform of a fixed square size.
+// Instances carry scratch buffers and are not safe for concurrent use.
+type Transform struct {
+	n    int
+	mat  []int32 // n×n fixed-point forward matrix, row-major
+	tmp  []int64 // scratch for the separable passes
+	tmp2 []int64
+}
+
+// NewDCT returns the integer DCT-II transform of size n (4, 8, 16 or 32).
+func NewDCT(n int) *Transform {
+	switch n {
+	case 4, 8, 16, 32:
+	default:
+		panic(fmt.Sprintf("dct: unsupported size %d", n))
+	}
+	t := &Transform{n: n, mat: make([]int32, n*n), tmp: make([]int64, n*n), tmp2: make([]int64, n*n)}
+	for k := 0; k < n; k++ {
+		ck := 1.0
+		if k == 0 {
+			ck = math.Sqrt(0.5)
+		}
+		for j := 0; j < n; j++ {
+			v := math.Sqrt(2/float64(n)) * ck *
+				math.Cos(float64(2*j+1)*float64(k)*math.Pi/float64(2*n))
+			t.mat[k*n+j] = int32(math.Round(v * (1 << matrixBits)))
+		}
+	}
+	return t
+}
+
+// NewDST4 returns the 4×4 DST-VII transform HEVC applies to 4×4 intra luma
+// residuals; its basis better matches residuals that grow away from the
+// predicted edge.
+func NewDST4() *Transform {
+	n := 4
+	t := &Transform{n: n, mat: make([]int32, n*n), tmp: make([]int64, n*n), tmp2: make([]int64, n*n)}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			v := 2 / math.Sqrt(2*float64(n)+1) *
+				math.Sin(float64(2*j+1)*float64(k+1)*math.Pi/float64(2*n+1))
+			t.mat[k*n+j] = int32(math.Round(v * (1 << matrixBits)))
+		}
+	}
+	return t
+}
+
+// Size reports the transform's block edge length.
+func (t *Transform) Size() int { return t.n }
+
+// Forward transforms the n×n residual block res (row-major) into
+// coefficients, scaled by 2^coefBits relative to the orthonormal transform.
+// dst and res may alias.
+func (t *Transform) Forward(dst, res []int32) {
+	n := t.n
+	if len(res) != n*n || len(dst) != n*n {
+		panic("dct: bad block size")
+	}
+	tmp := t.tmp
+	for i := range tmp {
+		tmp[i] = 0
+	}
+	// Stage 1: tmp = A · res (transform the columns), streamed row-major.
+	for k := 0; k < n; k++ {
+		arow := t.mat[k*n : k*n+n]
+		trow := tmp[k*n : k*n+n]
+		for i := 0; i < n; i++ {
+			a := int64(arow[i])
+			if a == 0 {
+				continue
+			}
+			rrow := res[i*n : i*n+n]
+			for j, r := range rrow {
+				trow[j] += a * int64(r)
+			}
+		}
+	}
+	// Stage 2: dst = tmp · Aᵀ (transform the rows), then rescale:
+	// total matrix scale is 2^(2·matrixBits); keep 2^coefBits.
+	const shift = 2*matrixBits - coefBits
+	const half = int64(1) << (shift - 1)
+	for k := 0; k < n; k++ {
+		trow := tmp[k*n : k*n+n]
+		for l := 0; l < n; l++ {
+			var acc int64
+			lrow := t.mat[l*n : l*n+n]
+			for j, v := range trow {
+				acc += v * int64(lrow[j])
+			}
+			dst[k*n+l] = int32((acc + half) >> shift)
+		}
+	}
+}
+
+// Inverse reconstructs the residual block from coefficients produced by
+// Forward (after any quantization round-trip). dst and coef may alias.
+func (t *Transform) Inverse(dst, coef []int32) {
+	n := t.n
+	if len(coef) != n*n || len(dst) != n*n {
+		panic("dct: bad block size")
+	}
+	// Quantized coefficient blocks are mostly zero, so both passes skip
+	// zero terms. tmpT holds the transpose of Aᵀ·coef: tmpT[j][i].
+	tmpT := t.tmp
+	for i := range tmpT {
+		tmpT[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		crow := coef[k*n : k*n+n]
+		arow := t.mat[k*n : k*n+n]
+		for j, c := range crow {
+			if c == 0 {
+				continue
+			}
+			c64 := int64(c)
+			tT := tmpT[j*n : j*n+n]
+			for i, a := range arow {
+				tT[i] += c64 * int64(a)
+			}
+		}
+	}
+	// Stage 2: dst[i][j] = Σ_k tmpT[k][i]·A[k][j], accumulated row-major.
+	const shift = 2*matrixBits + coefBits
+	const half = int64(1) << (shift - 1)
+	acc := t.tmp2
+	for i := range acc {
+		acc[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		tT := tmpT[k*n : k*n+n]
+		arow := t.mat[k*n : k*n+n]
+		for i, v := range tT {
+			if v == 0 {
+				continue
+			}
+			drow := acc[i*n : i*n+n]
+			for j, a := range arow {
+				drow[j] += v * int64(a)
+			}
+		}
+	}
+	for i, v := range acc {
+		dst[i] = int32((v + half) >> shift)
+	}
+}
+
+// qstepTable[qp] is Qstep = 2^((qp-4)/6) for qp in [0, MaxQP].
+var qstepTable [MaxQP + 1]float64
+
+// MaxQP is the largest supported quantization parameter.
+const MaxQP = 51
+
+func init() {
+	for qp := 0; qp <= MaxQP; qp++ {
+		qstepTable[qp] = math.Pow(2, float64(qp-4)/6)
+	}
+}
+
+// Qstep returns the quantizer step size for qp, clamping qp into range.
+func Qstep(qp int) float64 {
+	if qp < 0 {
+		qp = 0
+	}
+	if qp > MaxQP {
+		qp = MaxQP
+	}
+	return qstepTable[qp]
+}
+
+// quantScale is the scale of Forward's output relative to orthonormal.
+const quantScale = 1 << coefBits
+
+// Quantize maps coefficients (as produced by Forward) to integer levels with
+// step Qstep(qp) in the orthonormal domain, using a dead-zone rounding offset
+// of roughly 1/3 (the HEVC intra choice). dst and coef may alias.
+func Quantize(dst, coef []int32, qp int) {
+	step := Qstep(qp) * quantScale
+	inv := 1 / step
+	for i, c := range coef {
+		v := float64(c) * inv
+		if v >= 0 {
+			dst[i] = int32(v + 1.0/3.0)
+		} else {
+			dst[i] = -int32(-v + 1.0/3.0)
+		}
+	}
+}
+
+// Dequantize maps levels back to reconstructed coefficients in Forward's
+// scale. dst and levels may alias.
+func Dequantize(dst, levels []int32, qp int) {
+	step := Qstep(qp) * quantScale
+	for i, l := range levels {
+		dst[i] = int32(math.Round(float64(l) * step))
+	}
+}
+
+// ForwardFloat computes the exact orthonormal 2-D DCT-II of a float block,
+// used by the analysis tooling (Fig. 3's outlier study). n must be the block
+// edge; src is row-major n×n.
+func ForwardFloat(src []float64, n int) []float64 {
+	d := basisFloat(n)
+	return mulABAt(d, src, n)
+}
+
+// InverseFloat inverts ForwardFloat.
+func InverseFloat(coef []float64, n int) []float64 {
+	d := basisFloat(n)
+	// X = Dᵀ · Y · D
+	dt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dt[i*n+j] = d[j*n+i]
+		}
+	}
+	return mulABAt(dt, coef, n)
+}
+
+func basisFloat(n int) []float64 {
+	d := make([]float64, n*n)
+	for k := 0; k < n; k++ {
+		ck := 1.0
+		if k == 0 {
+			ck = math.Sqrt(0.5)
+		}
+		for j := 0; j < n; j++ {
+			d[k*n+j] = math.Sqrt(2/float64(n)) * ck *
+				math.Cos(float64(2*j+1)*float64(k)*math.Pi/float64(2*n))
+		}
+	}
+	return d
+}
+
+// mulABAt returns A·B·Aᵀ for n×n matrices.
+func mulABAt(a, b []float64, n int) []float64 {
+	tmp := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			tmp[i*n+j] = acc
+		}
+	}
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += tmp[i*n+k] * a[j*n+k]
+			}
+			out[i*n+j] = acc
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(rng *rand.Rand, n int, amp int32) []int32 {
+	b := make([]int32, n*n)
+	for i := range b {
+		b[i] = rng.Int31n(2*amp+1) - amp
+	}
+	return b
+}
+
+func TestForwardInverseLossless(t *testing.T) {
+	// Without quantization the integer transform must reconstruct residuals
+	// within a tiny fixed-point error.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16, 32} {
+		tr := NewDCT(n)
+		for trial := 0; trial < 20; trial++ {
+			res := randBlock(rng, n, 255)
+			coef := make([]int32, n*n)
+			rec := make([]int32, n*n)
+			tr.Forward(coef, res)
+			tr.Inverse(rec, coef)
+			for i := range res {
+				if d := rec[i] - res[i]; d < -2 || d > 2 {
+					t.Fatalf("n=%d trial=%d idx=%d: rec %d want %d", n, trial, i, rec[i], res[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDST4RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := NewDST4()
+	for trial := 0; trial < 50; trial++ {
+		res := randBlock(rng, 4, 255)
+		coef := make([]int32, 16)
+		rec := make([]int32, 16)
+		tr.Forward(coef, res)
+		tr.Inverse(rec, coef)
+		for i := range res {
+			if d := rec[i] - res[i]; d < -2 || d > 2 {
+				t.Fatalf("idx=%d: rec %d want %d", i, rec[i], res[i])
+			}
+		}
+	}
+}
+
+func TestDCBlockConcentratesEnergy(t *testing.T) {
+	// A constant block must transform to a single DC coefficient.
+	for _, n := range []int{4, 8, 16, 32} {
+		tr := NewDCT(n)
+		res := make([]int32, n*n)
+		for i := range res {
+			res[i] = 100
+		}
+		coef := make([]int32, n*n)
+		tr.Forward(coef, res)
+		// DC of orthonormal DCT of constant c is c·n; coefBits scale is 64.
+		wantDC := int32(100 * n * 64)
+		if d := coef[0] - wantDC; d < -n64() || d > n64() {
+			t.Errorf("n=%d: DC=%d want ~%d", n, coef[0], wantDC)
+		}
+		for i := 1; i < n*n; i++ {
+			if coef[i] < -64 || coef[i] > 64 {
+				t.Errorf("n=%d: AC[%d]=%d, want ~0", n, i, coef[i])
+			}
+		}
+	}
+}
+
+func n64() int32 { return 512 }
+
+func TestQuantizeDequantizeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	tr := NewDCT(n)
+	for _, qp := range []int{4, 16, 28, 40} {
+		step := Qstep(qp)
+		res := randBlock(rng, n, 200)
+		coef := make([]int32, n*n)
+		tr.Forward(coef, res)
+		lev := make([]int32, n*n)
+		Quantize(lev, coef, qp)
+		deq := make([]int32, n*n)
+		Dequantize(deq, lev, qp)
+		for i := range coef {
+			err := math.Abs(float64(deq[i]-coef[i])) / 64 // orthonormal domain
+			// Dead-zone quantizer error is bounded by ~(2/3)·step plus
+			// rounding slack.
+			if err > step*0.70+0.55 {
+				t.Fatalf("qp=%d idx=%d: err %.3f > bound (step %.3f)", qp, i, err, step)
+			}
+		}
+	}
+}
+
+func TestQstepDoublesEverySixQP(t *testing.T) {
+	for qp := 0; qp+6 <= MaxQP; qp++ {
+		r := Qstep(qp+6) / Qstep(qp)
+		if math.Abs(r-2) > 1e-9 {
+			t.Fatalf("Qstep(%d+6)/Qstep(%d) = %f, want 2", qp, qp, r)
+		}
+	}
+	if math.Abs(Qstep(4)-1) > 1e-12 {
+		t.Fatalf("Qstep(4)=%f, want 1", Qstep(4))
+	}
+	if Qstep(-5) != Qstep(0) || Qstep(99) != Qstep(MaxQP) {
+		t.Fatal("Qstep clamping broken")
+	}
+}
+
+func TestHigherQPLargerError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 16
+	tr := NewDCT(n)
+	res := randBlock(rng, n, 255)
+	mse := func(qp int) float64 {
+		coef := make([]int32, n*n)
+		tr.Forward(coef, res)
+		Quantize(coef, coef, qp)
+		Dequantize(coef, coef, qp)
+		rec := make([]int32, n*n)
+		tr.Inverse(rec, coef)
+		var s float64
+		for i := range res {
+			d := float64(rec[i] - res[i])
+			s += d * d
+		}
+		return s / float64(n*n)
+	}
+	if !(mse(10) < mse(25) && mse(25) < mse(40)) {
+		t.Fatalf("MSE not monotone in QP: %f %f %f", mse(10), mse(25), mse(40))
+	}
+}
+
+func TestRoundTripQuantizedProperty(t *testing.T) {
+	// Property: for any residual block and QP, reconstruction error per
+	// sample is bounded by a constant times Qstep.
+	f := func(seed int64, qp8 uint8) bool {
+		qp := int(qp8) % 40
+		rng := rand.New(rand.NewSource(seed))
+		n := []int{4, 8, 16}[rng.Intn(3)]
+		tr := NewDCT(n)
+		res := randBlock(rng, n, 255)
+		coef := make([]int32, n*n)
+		tr.Forward(coef, res)
+		Quantize(coef, coef, qp)
+		Dequantize(coef, coef, qp)
+		rec := make([]int32, n*n)
+		tr.Inverse(rec, coef)
+		// Error energy bound: each of n² coefficients errs by < step, so
+		// per-sample |err| ≤ n·step is extremely loose; check RMS ≤ step.
+		var s float64
+		for i := range res {
+			d := float64(rec[i] - res[i])
+			s += d * d
+		}
+		rms := math.Sqrt(s / float64(n*n))
+		return rms <= Qstep(qp)*0.75+1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardFloatOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	src := make([]float64, n*n)
+	var energy float64
+	for i := range src {
+		src[i] = rng.NormFloat64()
+		energy += src[i] * src[i]
+	}
+	coef := ForwardFloat(src, n)
+	var cenergy float64
+	for _, c := range coef {
+		cenergy += c * c
+	}
+	if math.Abs(energy-cenergy) > 1e-9*energy {
+		t.Fatalf("energy not preserved: %f vs %f", energy, cenergy)
+	}
+	rec := InverseFloat(coef, n)
+	for i := range src {
+		if math.Abs(rec[i]-src[i]) > 1e-9 {
+			t.Fatalf("idx %d: %f vs %f", i, rec[i], src[i])
+		}
+	}
+}
+
+func TestDCTSpreadsOutliers(t *testing.T) {
+	// The Fig. 3 mechanism: a single large outlier in the spatial domain is
+	// amortized across all transform coefficients, so the coefficient-domain
+	// peak is much smaller than the input peak.
+	n := 8
+	src := make([]float64, n*n)
+	src[27] = 128 // isolated outlier
+	coef := ForwardFloat(src, n)
+	var peak float64
+	for _, c := range coef {
+		if math.Abs(c) > peak {
+			peak = math.Abs(c)
+		}
+	}
+	// Basis entries are at most √(2/n), so the peak coefficient of a
+	// 128-impulse is at most 128·(2/n) = 32 for n=8 — a 4× amortization.
+	if peak > 128.0*2/float64(n)+1e-9 {
+		t.Fatalf("outlier not amortized: coef peak %.2f", peak)
+	}
+	if peak < 128.0/float64(n) {
+		t.Fatalf("suspiciously small peak %.2f; transform likely wrong", peak)
+	}
+}
+
+func BenchmarkForward8(b *testing.B)  { benchForward(b, 8) }
+func BenchmarkForward32(b *testing.B) { benchForward(b, 32) }
+
+func benchForward(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(9))
+	tr := NewDCT(n)
+	res := randBlock(rng, n, 255)
+	coef := make([]int32, n*n)
+	b.SetBytes(int64(n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Forward(coef, res)
+	}
+}

@@ -1,0 +1,455 @@
+// Package entropy implements the general-purpose byte compressors that form
+// the §7.1 baseline grid when chained after INT/MXFP quantization: Huffman,
+// Deflate, LZ4 and a CABAC-style adaptive byte coder.
+package entropy
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bits"
+	"repro/internal/cabac"
+)
+
+// Coder compresses and decompresses byte streams.
+type Coder interface {
+	Name() string
+	Encode(data []byte) []byte
+	// Decode inverts Encode; n is the original length.
+	Decode(comp []byte, n int) ([]byte, error)
+}
+
+// All returns the four coders of the baseline grid.
+func All() []Coder {
+	return []Coder{HuffmanCoder{}, DeflateCoder{}, LZ4Coder{}, CABACCoder{}}
+}
+
+// ByName looks up a coder.
+func ByName(name string) (Coder, error) {
+	for _, c := range All() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("entropy: unknown coder %q", name)
+}
+
+// ---------------------------------------------------------------- Huffman
+
+// HuffmanCoder is a canonical static Huffman coder with an explicit
+// code-length table header.
+type HuffmanCoder struct{}
+
+// Name implements Coder.
+func (HuffmanCoder) Name() string { return "Huffman" }
+
+type huffNode struct {
+	freq        int
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+// buildLengths computes code lengths via a simple two-queue Huffman build.
+func buildLengths(freq [256]int) [256]int {
+	var nodes []*huffNode
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, &huffNode{freq: f, sym: s})
+		}
+	}
+	var lengths [256]int
+	switch len(nodes) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[nodes[0].sym] = 1
+		return lengths
+	}
+	for len(nodes) > 1 {
+		// Find two smallest (n is ≤256; quadratic is fine).
+		a, b := 0, 1
+		if nodes[b].freq < nodes[a].freq {
+			a, b = b, a
+		}
+		for i := 2; i < len(nodes); i++ {
+			if nodes[i].freq < nodes[a].freq {
+				b, a = a, i
+			} else if nodes[i].freq < nodes[b].freq {
+				b = i
+			}
+		}
+		merged := &huffNode{freq: nodes[a].freq + nodes[b].freq, sym: -1,
+			left: nodes[a], right: nodes[b]}
+		// Remove b then a (b > a not guaranteed; handle indices carefully).
+		hi, lo := a, b
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		nodes[hi] = nodes[len(nodes)-1]
+		nodes = nodes[:len(nodes)-1]
+		if lo == len(nodes) {
+			lo = hi
+		}
+		nodes[lo] = merged
+	}
+	var walk func(n *huffNode, depth int)
+	walk = func(n *huffNode, depth int) {
+		if n.sym >= 0 {
+			d := depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.sym] = d
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(nodes[0], 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes from lengths.
+func canonicalCodes(lengths [256]int) (codes [256]uint32, ok bool) {
+	maxLen := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen == 0 {
+		return codes, false
+	}
+	var blCount [64]int
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	var nextCode [64]uint32
+	var code uint32
+	for l := 1; l <= maxLen; l++ {
+		code = (code + uint32(blCount[l-1])) << 1
+		nextCode[l] = code
+	}
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			codes[s] = nextCode[lengths[s]]
+			nextCode[lengths[s]]++
+		}
+	}
+	return codes, true
+}
+
+// Encode implements Coder.
+func (HuffmanCoder) Encode(data []byte) []byte {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	lengths := buildLengths(freq)
+	codes, ok := canonicalCodes(lengths)
+	w := bits.NewWriter()
+	// Header: 256 code lengths, 6 bits each.
+	for s := 0; s < 256; s++ {
+		w.WriteBits(uint64(lengths[s]), 6)
+	}
+	if ok {
+		for _, b := range data {
+			w.WriteBits(uint64(codes[b]), uint(lengths[b]))
+		}
+	}
+	return w.Bytes()
+}
+
+// Decode implements Coder.
+func (HuffmanCoder) Decode(comp []byte, n int) ([]byte, error) {
+	r := bits.NewReader(comp)
+	var lengths [256]int
+	for s := 0; s < 256; s++ {
+		v, err := r.ReadBits(6)
+		if err != nil {
+			return nil, err
+		}
+		lengths[s] = int(v)
+	}
+	codes, ok := canonicalCodes(lengths)
+	if !ok {
+		if n == 0 {
+			return nil, nil
+		}
+		return nil, errors.New("entropy: empty code table")
+	}
+	// Build a decode map keyed by (length, code).
+	type key struct {
+		l int
+		c uint32
+	}
+	dec := map[key]byte{}
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			dec[key{lengths[s], codes[s]}] = byte(s)
+		}
+	}
+	out := make([]byte, 0, n)
+	var cur uint32
+	curLen := 0
+	for len(out) < n {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		cur = cur<<1 | uint32(b)
+		curLen++
+		if curLen > 48 {
+			return nil, errors.New("entropy: malformed huffman stream")
+		}
+		if s, found := dec[key{curLen, cur}]; found {
+			out = append(out, s)
+			cur, curLen = 0, 0
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Deflate
+
+// DeflateCoder wraps the standard library's DEFLATE at maximum compression.
+type DeflateCoder struct{}
+
+// Name implements Coder.
+func (DeflateCoder) Name() string { return "Deflate" }
+
+// Encode implements Coder.
+func (DeflateCoder) Encode(data []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		panic(err)
+	}
+	w.Write(data)
+	w.Close()
+	return buf.Bytes()
+}
+
+// Decode implements Coder.
+func (DeflateCoder) Decode(comp []byte, n int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(comp))
+	defer r.Close()
+	out := make([]byte, 0, n)
+	buf := make([]byte, 4096)
+	for {
+		k, err := r.Read(buf)
+		out = append(out, buf[:k]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("entropy: deflate length %d, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- LZ4
+
+// LZ4Coder is a from-scratch LZ4-block-style byte-oriented LZ77 coder:
+// token byte (literal-run | match-len nibbles), LSIC length extensions,
+// 2-byte little-endian match offsets, greedy hash-chain matching.
+type LZ4Coder struct{}
+
+// Name implements Coder.
+func (LZ4Coder) Name() string { return "LZ4" }
+
+const (
+	lz4MinMatch = 4
+	lz4HashBits = 13
+)
+
+func lz4Hash(v uint32) uint32 { return (v * 2654435761) >> (32 - lz4HashBits) }
+
+// Encode implements Coder.
+func (LZ4Coder) Encode(data []byte) []byte {
+	var out []byte
+	var table [1 << lz4HashBits]int
+	for i := range table {
+		table[i] = -1
+	}
+	anchor := 0
+	i := 0
+	emit := func(litEnd, matchLen, offset int) {
+		litLen := litEnd - anchor
+		token := byte(0)
+		if litLen >= 15 {
+			token = 15 << 4
+		} else {
+			token = byte(litLen) << 4
+		}
+		ml := matchLen - lz4MinMatch
+		if matchLen > 0 {
+			if ml >= 15 {
+				token |= 15
+			} else {
+				token |= byte(ml)
+			}
+		}
+		out = append(out, token)
+		if litLen >= 15 {
+			rest := litLen - 15
+			for rest >= 255 {
+				out = append(out, 255)
+				rest -= 255
+			}
+			out = append(out, byte(rest))
+		}
+		out = append(out, data[anchor:litEnd]...)
+		if matchLen > 0 {
+			out = append(out, byte(offset), byte(offset>>8))
+			if ml >= 15 {
+				rest := ml - 15
+				for rest >= 255 {
+					out = append(out, 255)
+					rest -= 255
+				}
+				out = append(out, byte(rest))
+			}
+		}
+	}
+	for i+lz4MinMatch <= len(data) {
+		v := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		h := lz4Hash(v)
+		cand := table[h]
+		table[h] = i
+		if cand >= 0 && i-cand < 65536 &&
+			data[cand] == data[i] && data[cand+1] == data[i+1] &&
+			data[cand+2] == data[i+2] && data[cand+3] == data[i+3] {
+			mlen := lz4MinMatch
+			for i+mlen < len(data) && data[cand+mlen] == data[i+mlen] {
+				mlen++
+			}
+			emit(i, mlen, i-cand)
+			i += mlen
+			anchor = i
+			continue
+		}
+		i++
+	}
+	// Final literal run.
+	emit(len(data), 0, 0)
+	return out
+}
+
+// Decode implements Coder.
+func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	i := 0
+	readLSIC := func(base int) (int, error) {
+		v := base
+		if base == 15 {
+			for {
+				if i >= len(comp) {
+					return 0, errors.New("entropy: lz4 truncated length")
+				}
+				b := comp[i]
+				i++
+				v += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		return v, nil
+	}
+	for i < len(comp) {
+		token := comp[i]
+		i++
+		litLen, err := readLSIC(int(token >> 4))
+		if err != nil {
+			return nil, err
+		}
+		if i+litLen > len(comp) {
+			return nil, errors.New("entropy: lz4 truncated literals")
+		}
+		out = append(out, comp[i:i+litLen]...)
+		i += litLen
+		if len(out) >= n || i >= len(comp) {
+			break
+		}
+		if i+2 > len(comp) {
+			return nil, errors.New("entropy: lz4 truncated offset")
+		}
+		offset := int(comp[i]) | int(comp[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(out) {
+			return nil, errors.New("entropy: lz4 bad offset")
+		}
+		mlen, err := readLSIC(int(token & 15))
+		if err != nil {
+			return nil, err
+		}
+		mlen += lz4MinMatch
+		src := len(out) - offset
+		for k := 0; k < mlen; k++ {
+			out = append(out, out[src+k])
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("entropy: lz4 length %d, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- CABAC
+
+// CABACCoder codes bytes bit-by-bit through a context tree of adaptive
+// binary models (the order-0 adaptive arithmetic coder used as the
+// hardware-compression baseline in §7.1 [40]).
+type CABACCoder struct{}
+
+// Name implements Coder.
+func (CABACCoder) Name() string { return "CABAC" }
+
+// Encode implements Coder.
+func (CABACCoder) Encode(data []byte) []byte {
+	enc := cabac.NewEncoder()
+	ctx := newByteContexts()
+	for _, b := range data {
+		node := 1
+		for bit := 7; bit >= 0; bit-- {
+			v := int(b>>uint(bit)) & 1
+			enc.EncodeBit(&ctx[node], v)
+			node = node<<1 | v
+		}
+	}
+	return enc.Finish()
+}
+
+// Decode implements Coder.
+func (CABACCoder) Decode(comp []byte, n int) ([]byte, error) {
+	dec := cabac.NewDecoder(comp)
+	ctx := newByteContexts()
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		node := 1
+		for bit := 0; bit < 8; bit++ {
+			v := dec.DecodeBit(&ctx[node])
+			node = node<<1 | v
+		}
+		out[i] = byte(node & 0xFF)
+	}
+	return out, nil
+}
+
+func newByteContexts() []cabac.Context {
+	ctx := make([]cabac.Context, 256)
+	for i := range ctx {
+		ctx[i] = cabac.NewContext(0.5)
+	}
+	return ctx
+}

@@ -1,0 +1,202 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the repository's substrate (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Each experiment is a function from a shared Ctx (which caches trained
+// reference models) to a Table of results, so the CLI, the benchmarks and
+// the tests all drive the same code.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/llm"
+	"repro/internal/nn"
+)
+
+// Ctx carries the shared state (corpus, trained models, task suites) across
+// experiments. Quick mode shrinks training steps and sweep grids so the full
+// suite completes in a few minutes.
+type Ctx struct {
+	Quick bool
+
+	mu     sync.Mutex
+	corpus *data.Corpus
+	models map[string]*nn.Transformer
+	tasks  []llm.Task
+}
+
+// NewCtx creates an experiment context.
+func NewCtx(quick bool) *Ctx {
+	return &Ctx{Quick: quick, models: map[string]*nn.Transformer{}}
+}
+
+// Corpus returns the shared synthetic corpus.
+func (c *Ctx) Corpus() *data.Corpus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.corpus == nil {
+		c.corpus = data.NewCorpus(1, 64, 60000, 10000)
+	}
+	return c.corpus
+}
+
+// Model returns the trained reference model for a zoo spec, training it on
+// first use.
+func (c *Ctx) Model(name string) *nn.Transformer {
+	corpus := c.Corpus()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.models[name]; ok {
+		return m
+	}
+	spec, ok := llm.Zoo()[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown model %q", name))
+	}
+	if c.Quick {
+		spec.TrainSteps /= 3
+	}
+	m := llm.Train(spec, corpus, 42)
+	c.models[name] = m
+	return m
+}
+
+// Tasks returns the shared zero-shot task suite.
+func (c *Ctx) Tasks() []llm.Task {
+	corpus := c.Corpus()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tasks == nil {
+		n := 40
+		if c.Quick {
+			n = 16
+		}
+		c.tasks = llm.GenerateTasks(corpus, 7, n)
+	}
+	return c.tasks
+}
+
+// trainSteps scales a step count down in quick mode.
+func (c *Ctx) trainSteps(full int) int {
+	if c.Quick {
+		return full / 4
+	}
+	return full
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig5", "table1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// f2 formats with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Runner is a named experiment.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func(*Ctx) *Table
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", "Pipeline-stage ablation: bits/value at fixed quality", Fig2},
+		{"fig3", "DCT de-outliering statistics", Fig3},
+		{"fig4", "Intra-prediction walkthrough on a weight block", Fig4},
+		{"fig5", "Accuracy vs average bit-width (7B-class stand-in)", Fig5},
+		{"table1", "70B-class stand-in at ~3 bits", Table1},
+		{"fig6", "Codec selection: H.264 vs H.265 vs AV1", Fig6},
+		{"table2", "GPU video-codec support matrix", Table2},
+		{"fig7", "Other model families and tasks", Fig7},
+		{"fig8", "KV-cache and activation compression", Fig8},
+		{"fig9", "Pipeline-parallel training", Fig9},
+		{"fig10", "Data-parallel training", Fig10},
+		{"fig11", "Downstream quality of DP-trained models", Fig11},
+		{"fig12", "Die-area comparison", Fig12},
+		{"table3", "Energy/area/power of codecs vs NCCL", Table3},
+		{"fig14", "Information-efficiency baseline grid", Fig14},
+		{"fig15", "Codec+NIC system area and energy", Fig15},
+		{"fig16", "Cluster-level modeling", Fig16},
+		{"throughput", "NVENC/NVDEC and software codec throughput", Throughput},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// newRng returns a deterministic RNG for an experiment.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,91 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaneBasics(t *testing.T) {
+	p := NewPlane(4, 3)
+	p.Set(2, 1, 200)
+	if p.At(2, 1) != 200 {
+		t.Fatalf("At/Set roundtrip failed")
+	}
+	if len(p.Row(1)) != 4 || p.Row(1)[2] != 200 {
+		t.Fatalf("Row view wrong")
+	}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q.Set(0, 0, 9)
+	if p.Equal(q) || p.At(0, 0) == 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	p := NewPlane(2, 2)
+	q := NewPlane(2, 2)
+	q.Set(0, 0, 2) // diff 2 -> sq 4, over 4 pixels = 1
+	if got := p.MSE(q); got != 1 {
+		t.Fatalf("MSE = %f, want 1", got)
+	}
+}
+
+func TestFromToMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ rows, cols, maxW, maxH int }{
+		{10, 10, 32, 32},   // fits in one plane
+		{100, 64, 32, 32},  // multiple bands and slabs
+		{33, 65, 32, 32},   // ragged edges
+		{1, 1, 8, 8},       // degenerate
+		{128, 128, 64, 16}, // asymmetric limits
+	}
+	for _, c := range cases {
+		data := make([]uint8, c.rows*c.cols)
+		for i := range data {
+			data[i] = uint8(rng.Intn(256))
+		}
+		planes := FromMatrix(data, c.rows, c.cols, c.maxW, c.maxH)
+		back := ToMatrix(planes, c.rows, c.cols, c.maxW, c.maxH)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatalf("case %+v: mismatch at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestFromMatrixPlaneCount(t *testing.T) {
+	data := make([]uint8, 100*70)
+	planes := FromMatrix(data, 100, 70, 32, 32)
+	// ceil(100/32)=4 bands × ceil(70/32)=3 slabs = 12 planes.
+	if len(planes) != 12 {
+		t.Fatalf("got %d planes, want 12", len(planes))
+	}
+}
+
+func TestFromToMatrixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(90) + 1
+		cols := rng.Intn(90) + 1
+		maxW := rng.Intn(40) + 4
+		maxH := rng.Intn(40) + 4
+		data := make([]uint8, rows*cols)
+		rng.Read(data)
+		planes := FromMatrix(data, rows, cols, maxW, maxH)
+		back := ToMatrix(planes, rows, cols, maxW, maxH)
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDerivedThreeInOneNearPublished(t *testing.T) {
+	// The derivation from H.264 components must land in the neighbourhood
+	// of the paper's synthesized 0.70 mm² encoder (same inputs, same
+	// arithmetic → order-of-magnitude agreement, not digit match).
+	m := DeriveThreeInOneEncoder()
+	if m.TotalArea() < ThreeInOneEnc.AreaMM2*0.5 || m.TotalArea() > ThreeInOneEnc.AreaMM2*1.5 {
+		t.Fatalf("derived encoder area %.3f mm² too far from published %.2f",
+			m.TotalArea(), ThreeInOneEnc.AreaMM2)
+	}
+}
+
+func TestSharedPipelineFractionNear80Percent(t *testing.T) {
+	m := DeriveThreeInOneEncoder()
+	if math.Abs(m.SharedFraction()-SharedPipelineFraction) > 0.12 {
+		t.Fatalf("shared fraction %.2f, paper says %.2f", m.SharedFraction(), SharedPipelineFraction)
+	}
+}
+
+func TestSharingBeatsSeparateCodecs(t *testing.T) {
+	// The whole point of the three-in-one: one shared pipeline is cheaper
+	// than a dedicated tensor codec plus a dedicated video encoder.
+	shared := DeriveThreeInOneEncoder().TotalArea()
+	separate := SeparateCodecsArea()
+	if shared >= separate {
+		t.Fatalf("sharing (%.3f mm²) should undercut separate codecs (%.3f mm²)", shared, separate)
+	}
+}
+
+func TestVideoSideIsMinorCost(t *testing.T) {
+	// Adding video/image support must be a marginal overhead on the shared
+	// pipeline (the paper: "only marginal overhead").
+	m := DeriveThreeInOneEncoder()
+	if m.VideoArea > m.SharedArea*0.5 {
+		t.Fatalf("video side %.3f mm² not marginal vs shared %.3f mm²", m.VideoArea, m.SharedArea)
+	}
+}

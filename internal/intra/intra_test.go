@@ -1,0 +1,267 @@
+package intra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func constRefs(n int, v int32) Refs {
+	r := NewRefs(n)
+	r.Corner = v
+	for i := range r.Above {
+		r.Above[i] = v
+		r.Left[i] = v
+	}
+	return r
+}
+
+func TestAllModesInRange(t *testing.T) {
+	// Every mode, every size: predictions from valid references must stay
+	// within [0, 255].
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16, 32} {
+		r := NewRefs(n)
+		r.Corner = int32(rng.Intn(256))
+		for i := range r.Above {
+			r.Above[i] = int32(rng.Intn(256))
+			r.Left[i] = int32(rng.Intn(256))
+		}
+		dst := make([]int32, n*n)
+		for m := Mode(0); m < NumModes; m++ {
+			Predict(m, n, r, dst)
+			for i, v := range dst {
+				if v < 0 || v > 255 {
+					t.Fatalf("mode %d n=%d idx=%d: out of range %d", m, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDCIsMean(t *testing.T) {
+	n := 8
+	r := constRefs(n, 77)
+	dst := make([]int32, n*n)
+	Predict(DC, n, r, dst)
+	for _, v := range dst {
+		if v != 77 {
+			t.Fatalf("DC of constant refs = %d, want 77", v)
+		}
+	}
+}
+
+func TestVerticalCopiesAboveRow(t *testing.T) {
+	n := 8
+	r := NewRefs(n)
+	for i := range r.Above {
+		r.Above[i] = int32(i * 10 % 256)
+	}
+	dst := make([]int32, n*n)
+	Predict(ModeVertical, n, r, dst)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if dst[y*n+x] != r.Above[x] {
+				t.Fatalf("vertical (%d,%d): got %d want %d", x, y, dst[y*n+x], r.Above[x])
+			}
+		}
+	}
+}
+
+func TestHorizontalCopiesLeftColumn(t *testing.T) {
+	n := 8
+	r := NewRefs(n)
+	for i := range r.Left {
+		r.Left[i] = int32(i*7 + 3)
+	}
+	dst := make([]int32, n*n)
+	Predict(ModeHorizontal, n, r, dst)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if dst[y*n+x] != r.Left[y] {
+				t.Fatalf("horizontal (%d,%d): got %d want %d", x, y, dst[y*n+x], r.Left[y])
+			}
+		}
+	}
+}
+
+func TestPlanarConstant(t *testing.T) {
+	n := 16
+	r := constRefs(n, 123)
+	dst := make([]int32, n*n)
+	Predict(Planar, n, r, dst)
+	for i, v := range dst {
+		if v != 123 {
+			t.Fatalf("planar of constant refs idx %d = %d, want 123", i, v)
+		}
+	}
+}
+
+func TestPlanarGradient(t *testing.T) {
+	// A left column ramp should produce a roughly vertical gradient.
+	n := 8
+	r := NewRefs(n)
+	for i := range r.Left {
+		r.Left[i] = int32(i * 20)
+		if r.Left[i] > 255 {
+			r.Left[i] = 255
+		}
+	}
+	for i := range r.Above {
+		r.Above[i] = 0
+	}
+	r.Corner = 0
+	dst := make([]int32, n*n)
+	Predict(Planar, n, r, dst)
+	// Values in column 0 should increase down the block.
+	for y := 1; y < n; y++ {
+		if dst[y*n] < dst[(y-1)*n] {
+			t.Fatalf("planar not increasing down col 0: row %d %d < row %d %d",
+				y, dst[y*n], y-1, dst[(y-1)*n])
+		}
+	}
+}
+
+func TestAngularDiagonalMode34(t *testing.T) {
+	// Mode 34 (angle +32, vertical family) predicts dst(x,y) from
+	// above[x+y+1].
+	n := 4
+	r := NewRefs(n)
+	for i := range r.Above {
+		r.Above[i] = int32(i + 1)
+	}
+	dst := make([]int32, n*n)
+	Predict(34, n, r, dst)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			want := r.Above[x+y+1]
+			if dst[y*n+x] != want {
+				t.Fatalf("mode34 (%d,%d): got %d want %d", x, y, dst[y*n+x], want)
+			}
+		}
+	}
+}
+
+func TestAngularMode2(t *testing.T) {
+	// Mode 2 (angle +32, horizontal family) predicts from left[x+y+1].
+	n := 4
+	r := NewRefs(n)
+	for i := range r.Left {
+		r.Left[i] = int32(100 + i)
+	}
+	dst := make([]int32, n*n)
+	Predict(2, n, r, dst)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			want := r.Left[x+y+1]
+			if dst[y*n+x] != want {
+				t.Fatalf("mode2 (%d,%d): got %d want %d", x, y, dst[y*n+x], want)
+			}
+		}
+	}
+}
+
+func TestNegativeAngleModesUseProjection(t *testing.T) {
+	// Modes with negative angles (11..25 excluding 18? no: 11-17, 19-25)
+	// must not panic and must stay in range even with extreme references.
+	for _, n := range []int{4, 8, 16, 32} {
+		r := NewRefs(n)
+		for i := range r.Above {
+			r.Above[i] = 255
+			r.Left[i] = 0
+		}
+		r.Corner = 128
+		dst := make([]int32, n*n)
+		for m := Mode(11); m <= 25; m++ {
+			Predict(m, n, r, dst)
+			for i, v := range dst {
+				if v < 0 || v > 255 {
+					t.Fatalf("mode %d n=%d idx %d: %d out of range", m, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSmoothedPreservesConstant(t *testing.T) {
+	n := 16
+	r := constRefs(n, 99)
+	s := r.Smoothed()
+	if s.Corner != 99 {
+		t.Fatalf("smoothed corner %d", s.Corner)
+	}
+	for i := range s.Above {
+		if s.Above[i] != 99 || s.Left[i] != 99 {
+			t.Fatalf("smoothing altered constant refs at %d: %d %d", i, s.Above[i], s.Left[i])
+		}
+	}
+}
+
+func TestSmoothingDecision(t *testing.T) {
+	if UseSmoothing(4, 20) {
+		t.Fatal("4x4 blocks should not smooth")
+	}
+	if UseSmoothing(32, ModeVertical) {
+		t.Fatal("pure vertical should not smooth")
+	}
+	if !UseSmoothing(32, 20) {
+		t.Fatal("oblique mode on 32x32 should smooth")
+	}
+	if UseSmoothing(16, DC) {
+		t.Fatal("DC never smooths")
+	}
+}
+
+func TestPredictionPropertyBounded(t *testing.T) {
+	// Property: predictions are convex-ish combinations of references, so
+	// min(ref) <= pred <= max(ref) within rounding slack.
+	f := func(seed int64, modeRaw uint8, sizeIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := []int{4, 8, 16, 32}[sizeIdx%4]
+		m := Mode(modeRaw % NumModes)
+		r := NewRefs(n)
+		lo, hi := int32(255), int32(0)
+		obs := func(v int32) {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		r.Corner = int32(rng.Intn(256))
+		obs(r.Corner)
+		for i := range r.Above {
+			r.Above[i] = int32(rng.Intn(256))
+			r.Left[i] = int32(rng.Intn(256))
+			obs(r.Above[i])
+			obs(r.Left[i])
+		}
+		dst := make([]int32, n*n)
+		Predict(m, n, r, dst)
+		for _, v := range dst {
+			if v < lo-1 || v > hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPredictAngular16(b *testing.B) {
+	n := 16
+	r := NewRefs(n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range r.Above {
+		r.Above[i] = int32(rng.Intn(256))
+		r.Left[i] = int32(rng.Intn(256))
+	}
+	dst := make([]int32, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Predict(Mode(2+i%33), n, r, dst)
+	}
+}

@@ -1,0 +1,136 @@
+package llm
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+// MCItem is a zero-shot multiple-choice item: the model scores each
+// prompt+choice sequence and picks the lowest length-normalized NLL — the
+// standard LM-Eval protocol behind PIQA/WinoGrande/HellaSwag.
+type MCItem struct {
+	Prompt  []int
+	Choices [][]int
+	Answer  int
+}
+
+// Task is a named set of items. The eight synthetic families mirror the
+// paper's eight commonsense suites, differing in continuation length and
+// distractor difficulty (longer continuations and closer distractors are
+// harder).
+type Task struct {
+	Name  string
+	Items []MCItem
+}
+
+// taskSpec controls a family's difficulty.
+type taskSpec struct {
+	name      string
+	promptLen int
+	contLen   int
+	nChoices  int
+	// closeDistractors makes wrong answers start with one plausible token
+	// before diverging, which narrows the NLL margin.
+	closeDistractors bool
+}
+
+var taskSpecs = []taskSpec{
+	{"piqa-s", 8, 3, 2, false},
+	{"copa-s", 8, 2, 2, false},
+	{"arc-e-s", 10, 3, 4, false},
+	{"arc-c-s", 10, 4, 4, true},
+	{"winogrande-s", 12, 3, 2, true},
+	{"hellaswag-s", 12, 5, 4, true},
+	{"rte-s", 8, 2, 2, true},
+	{"openbookqa-s", 10, 4, 4, false},
+}
+
+// GenerateTasks builds the eight task families from the corpus language:
+// correct continuations follow the corpus Markov structure, distractors
+// violate it.
+func GenerateTasks(corpus *data.Corpus, seed int64, itemsPerTask int) []Task {
+	rng := rand.New(rand.NewSource(seed))
+	stream := corpus.TrainTokens()
+	var tasks []Task
+	for _, spec := range taskSpecs {
+		task := Task{Name: spec.name}
+		for i := 0; i < itemsPerTask; i++ {
+			start := rng.Intn(len(stream) - spec.promptLen - spec.contLen - 1)
+			prompt := append([]int(nil), stream[start:start+spec.promptLen]...)
+			correct := append([]int(nil), stream[start+spec.promptLen:start+spec.promptLen+spec.contLen]...)
+			item := MCItem{Prompt: prompt}
+			answer := rng.Intn(spec.nChoices)
+			for c := 0; c < spec.nChoices; c++ {
+				if c == answer {
+					item.Choices = append(item.Choices, correct)
+					continue
+				}
+				item.Choices = append(item.Choices, distractor(corpus, rng, prompt, spec))
+			}
+			item.Answer = answer
+			task.Items = append(task.Items, item)
+		}
+		tasks = append(tasks, task)
+	}
+	return tasks
+}
+
+// distractor builds a chain-consistent but improbable continuation: every
+// transition is valid under the corpus language, but one or more take the 5%
+// branch. Rejecting it requires a calibrated model, so accuracy degrades
+// smoothly as weight distortion grows — unlike random-token distractors,
+// which any model rejects.
+func distractor(corpus *data.Corpus, rng *rand.Rand, prompt []int, spec taskSpec) []int {
+	out := make([]int, spec.contLen)
+	prev := prompt[len(prompt)-1]
+	weakAt := -1
+	if spec.closeDistractors {
+		// Hard: only one weak transition (small likelihood gap).
+		weakAt = rng.Intn(spec.contLen)
+	}
+	for j := 0; j < spec.contLen; j++ {
+		if spec.closeDistractors && j != weakAt {
+			out[j] = corpus.Next(rng, prev)
+		} else {
+			out[j] = corpus.WeakNext(prev)
+		}
+		prev = out[j]
+	}
+	return out
+}
+
+// EvalTask measures a model's accuracy on one task.
+func EvalTask(m *nn.Transformer, task Task) float64 {
+	correct := 0
+	for _, item := range task.Items {
+		best, bestNLL := -1, 0.0
+		for c, choice := range item.Choices {
+			seq := append(append([]int(nil), item.Prompt...), choice...)
+			if len(seq) > m.Cfg.SeqLen {
+				seq = seq[len(seq)-m.Cfg.SeqLen:]
+			}
+			nll := m.SequenceNLL(seq, len(seq)-len(choice)) / float64(len(choice))
+			if best == -1 || nll < bestNLL {
+				best, bestNLL = c, nll
+			}
+		}
+		if best == item.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(task.Items))
+}
+
+// EvalTasks returns per-task accuracies plus the mean.
+func EvalTasks(m *nn.Transformer, tasks []Task) (map[string]float64, float64) {
+	out := map[string]float64{}
+	var sum float64
+	for _, task := range tasks {
+		acc := EvalTask(m, task)
+		out[task.Name] = acc
+		sum += acc
+	}
+	return out, sum / float64(len(tasks))
+}

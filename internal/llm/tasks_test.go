@@ -1,0 +1,77 @@
+package llm
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestGenerateTasksStructure(t *testing.T) {
+	corpus := data.NewCorpus(31, 64, 20000, 1000)
+	tasks := GenerateTasks(corpus, 3, 12)
+	if len(tasks) != 8 {
+		t.Fatalf("want 8 families, got %d", len(tasks))
+	}
+	for _, task := range tasks {
+		if len(task.Items) != 12 {
+			t.Fatalf("%s: %d items", task.Name, len(task.Items))
+		}
+		for i, item := range task.Items {
+			if item.Answer < 0 || item.Answer >= len(item.Choices) {
+				t.Fatalf("%s item %d: answer %d out of range", task.Name, i, item.Answer)
+			}
+			for c, choice := range item.Choices {
+				if len(choice) == 0 {
+					t.Fatalf("%s item %d choice %d empty", task.Name, i, c)
+				}
+				for _, tok := range append(append([]int(nil), item.Prompt...), choice...) {
+					if tok < 0 || tok >= corpus.Vocab {
+						t.Fatalf("%s item %d: token %d out of vocab", task.Name, i, tok)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectChoiceFollowsTheChain(t *testing.T) {
+	// The correct continuation must be fully chain-consistent; distractors
+	// must contain at least one weak or broken transition relative to it.
+	corpus := data.NewCorpus(32, 64, 20000, 1000)
+	tasks := GenerateTasks(corpus, 5, 20)
+	for _, task := range tasks {
+		for i, item := range task.Items {
+			correct := item.Choices[item.Answer]
+			prev := item.Prompt[len(item.Prompt)-1]
+			for _, tok := range correct {
+				if !corpus.Likely(prev, tok) {
+					t.Fatalf("%s item %d: correct continuation breaks the chain", task.Name, i)
+				}
+				prev = tok
+			}
+		}
+	}
+}
+
+func TestDistractorsAreChainValid(t *testing.T) {
+	// Weak-transition distractors stay within the language (every step is a
+	// valid successor) — the property that makes them hard.
+	corpus := data.NewCorpus(33, 64, 20000, 1000)
+	tasks := GenerateTasks(corpus, 6, 20)
+	for _, task := range tasks {
+		for i, item := range task.Items {
+			for c, choice := range item.Choices {
+				if c == item.Answer {
+					continue
+				}
+				prev := item.Prompt[len(item.Prompt)-1]
+				for _, tok := range choice {
+					if !corpus.Likely(prev, tok) {
+						t.Fatalf("%s item %d choice %d: distractor left the chain", task.Name, i, c)
+					}
+					prev = tok
+				}
+			}
+		}
+	}
+}

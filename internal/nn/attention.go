@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KVHook lets callers intercept the key/value tensors right after projection
+// — the seam where LLM.265 compresses the KV cache (§4.2). The hook receives
+// [B·T, dim] matrices and returns the (possibly lossy) tensors attention
+// actually uses.
+type KVHook func(layer int, k, v *Mat) (*Mat, *Mat)
+
+// CausalSelfAttention is multi-head causal self-attention.
+type CausalSelfAttention struct {
+	Wq, Wk, Wv, Wo *Linear
+	Heads          int
+	Layer          int
+	Hook           KVHook
+
+	// forward caches
+	q, k, v *Mat
+	attn    [][]float32 // per (b,h): T×T row-major lower-triangular weights
+	b, t    int
+	concat  *Mat
+}
+
+// NewCausalSelfAttention builds an attention layer for model width dim.
+func NewCausalSelfAttention(rng *rand.Rand, name string, dim, heads, layer int) *CausalSelfAttention {
+	if dim%heads != 0 {
+		panic("nn: dim must divide heads")
+	}
+	return &CausalSelfAttention{
+		Wq:    NewLinear(rng, name+".wq", dim, dim),
+		Wk:    NewLinear(rng, name+".wk", dim, dim),
+		Wv:    NewLinear(rng, name+".wv", dim, dim),
+		Wo:    NewLinear(rng, name+".wo", dim, dim),
+		Heads: heads,
+		Layer: layer,
+	}
+}
+
+// Forward computes attention over B sequences of T tokens packed as a
+// [B·T, dim] matrix.
+func (a *CausalSelfAttention) Forward(x *Mat, B, T int) *Mat {
+	dim := x.C
+	dh := dim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	a.q = a.Wq.Forward(x)
+	a.k = a.Wk.Forward(x)
+	a.v = a.Wv.Forward(x)
+	if a.Hook != nil {
+		a.k, a.v = a.Hook(a.Layer, a.k, a.v)
+	}
+	a.b, a.t = B, T
+
+	out := NewMat(x.R, dim)
+	a.attn = make([][]float32, B*a.Heads)
+	for b := 0; b < B; b++ {
+		for h := 0; h < a.Heads; h++ {
+			w := make([]float32, T*T)
+			hOff := h * dh
+			for t := 0; t < T; t++ {
+				qrow := a.q.Row(b*T + t)[hOff : hOff+dh]
+				// Scores against all previous positions.
+				var maxS float32 = float32(math.Inf(-1))
+				for u := 0; u <= t; u++ {
+					krow := a.k.Row(b*T + u)[hOff : hOff+dh]
+					var s float32
+					for i := range qrow {
+						s += qrow[i] * krow[i]
+					}
+					s *= scale
+					w[t*T+u] = s
+					if s > maxS {
+						maxS = s
+					}
+				}
+				var sum float32
+				for u := 0; u <= t; u++ {
+					e := float32(math.Exp(float64(w[t*T+u] - maxS)))
+					w[t*T+u] = e
+					sum += e
+				}
+				inv := 1 / sum
+				orow := out.Row(b*T + t)[hOff : hOff+dh]
+				for u := 0; u <= t; u++ {
+					w[t*T+u] *= inv
+					vrow := a.v.Row(b*T + u)[hOff : hOff+dh]
+					aw := w[t*T+u]
+					for i := range orow {
+						orow[i] += aw * vrow[i]
+					}
+				}
+			}
+			a.attn[b*a.Heads+h] = w
+		}
+	}
+	a.concat = out
+	return a.Wo.Forward(out)
+}
+
+// Backward propagates through attention, returning dx.
+func (a *CausalSelfAttention) Backward(dy *Mat) *Mat {
+	B, T := a.b, a.t
+	dim := a.q.C
+	dh := dim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	dConcat := a.Wo.Backward(dy)
+	dq := NewMat(a.q.R, dim)
+	dk := NewMat(a.k.R, dim)
+	dv := NewMat(a.v.R, dim)
+
+	for b := 0; b < B; b++ {
+		for h := 0; h < a.Heads; h++ {
+			w := a.attn[b*a.Heads+h]
+			hOff := h * dh
+			for t := 0; t < T; t++ {
+				doRow := dConcat.Row(b*T + t)[hOff : hOff+dh]
+				// da[t,u] = dO[t]·V[u]; dV[u] += a[t,u]·dO[t]
+				da := make([]float32, t+1)
+				for u := 0; u <= t; u++ {
+					vrow := a.v.Row(b*T + u)[hOff : hOff+dh]
+					dvrow := dv.Row(b*T + u)[hOff : hOff+dh]
+					var s float32
+					aw := w[t*T+u]
+					for i := range doRow {
+						s += doRow[i] * vrow[i]
+						dvrow[i] += aw * doRow[i]
+					}
+					da[u] = s
+				}
+				// Softmax backward: ds = a ⊙ (da − Σ a·da)
+				var dot float32
+				for u := 0; u <= t; u++ {
+					dot += w[t*T+u] * da[u]
+				}
+				qrow := a.q.Row(b*T + t)[hOff : hOff+dh]
+				dqrow := dq.Row(b*T + t)[hOff : hOff+dh]
+				for u := 0; u <= t; u++ {
+					ds := w[t*T+u] * (da[u] - dot) * scale
+					krow := a.k.Row(b*T + u)[hOff : hOff+dh]
+					dkrow := dk.Row(b*T + u)[hOff : hOff+dh]
+					for i := range qrow {
+						dqrow[i] += ds * krow[i]
+						dkrow[i] += ds * qrow[i]
+					}
+				}
+			}
+		}
+	}
+
+	dx := a.Wq.Backward(dq)
+	AddInPlace(dx, a.Wk.Backward(dk))
+	AddInPlace(dx, a.Wv.Backward(dv))
+	return dx
+}
+
+func (a *CausalSelfAttention) params() []*Param {
+	out := a.Wq.params()
+	out = append(out, a.Wk.params()...)
+	out = append(out, a.Wv.params()...)
+	out = append(out, a.Wo.params()...)
+	return out
+}

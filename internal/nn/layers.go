@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a named trainable tensor with its gradient accumulator. Names
+// make parameters addressable by the compression layers ("block0.attn.wq").
+type Param struct {
+	Name string
+	W    *Mat
+	G    *Mat
+}
+
+func newParam(name string, w *Mat) *Param {
+	return &Param{Name: name, W: w, G: NewMat(w.R, w.C)}
+}
+
+// Linear is a fully-connected layer y = x·W + b.
+type Linear struct {
+	W, B *Param
+	x    *Mat // forward cache
+}
+
+// NewLinear builds a layer with Xavier-scaled weights.
+func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
+	std := math.Sqrt(2.0 / float64(in+out))
+	return &Linear{
+		W: newParam(name+".w", RandMat(rng, in, out, std)),
+		B: newParam(name+".b", NewMat(1, out)),
+	}
+}
+
+// Forward computes y = x·W + b and caches x for the backward pass.
+func (l *Linear) Forward(x *Mat) *Mat {
+	l.x = x
+	y := MatMul(x, l.W.W)
+	for i := 0; i < y.R; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += l.B.W.V[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW, dB and returns dx.
+func (l *Linear) Backward(dy *Mat) *Mat {
+	AddInPlace(l.W.G, MatMulATB(l.x, dy))
+	for i := 0; i < dy.R; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			l.B.G.V[j] += row[j]
+		}
+	}
+	return MatMulABT(dy, l.W.W)
+}
+
+func (l *Linear) params() []*Param { return []*Param{l.W, l.B} }
+
+// CachedInput returns the input from the most recent Forward call — the
+// calibration-capture seam used by GPTQ/AWQ-style quantizers.
+func (l *Linear) CachedInput() *Mat { return l.x }
+
+// LayerNorm normalizes each row to zero mean / unit variance with learned
+// gain and bias.
+type LayerNorm struct {
+	Gamma, Beta *Param
+	eps         float64
+	x           *Mat
+	mean, rstd  []float64
+}
+
+// NewLayerNorm builds a LayerNorm over dim features.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	g := NewMat(1, dim)
+	for i := range g.V {
+		g.V[i] = 1
+	}
+	return &LayerNorm{
+		Gamma: newParam(name+".gamma", g),
+		Beta:  newParam(name+".beta", NewMat(1, dim)),
+		eps:   1e-5,
+	}
+}
+
+// Forward normalizes x row-wise.
+func (l *LayerNorm) Forward(x *Mat) *Mat {
+	l.x = x
+	l.mean = make([]float64, x.R)
+	l.rstd = make([]float64, x.R)
+	y := NewMat(x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		var m float64
+		for _, v := range row {
+			m += float64(v)
+		}
+		m /= float64(x.C)
+		var v2 float64
+		for _, v := range row {
+			d := float64(v) - m
+			v2 += d * d
+		}
+		v2 /= float64(x.C)
+		rstd := 1 / math.Sqrt(v2+l.eps)
+		l.mean[i], l.rstd[i] = m, rstd
+		yrow := y.Row(i)
+		for j, v := range row {
+			norm := (float64(v) - m) * rstd
+			yrow[j] = float32(norm)*l.Gamma.W.V[j] + l.Beta.W.V[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dGamma, dBeta and returns dx.
+func (l *LayerNorm) Backward(dy *Mat) *Mat {
+	x := l.x
+	dx := NewMat(x.R, x.C)
+	n := float64(x.C)
+	for i := 0; i < x.R; i++ {
+		xrow, dyrow, dxrow := x.Row(i), dy.Row(i), dx.Row(i)
+		m, rstd := l.mean[i], l.rstd[i]
+		// dhat_j = dy_j * gamma_j ; xhat_j = (x_j - m) * rstd
+		var sumDhat, sumDhatXhat float64
+		for j := range xrow {
+			xhat := (float64(xrow[j]) - m) * rstd
+			dhat := float64(dyrow[j]) * float64(l.Gamma.W.V[j])
+			sumDhat += dhat
+			sumDhatXhat += dhat * xhat
+			l.Gamma.G.V[j] += float32(float64(dyrow[j]) * xhat)
+			l.Beta.G.V[j] += dyrow[j]
+		}
+		for j := range xrow {
+			xhat := (float64(xrow[j]) - m) * rstd
+			dhat := float64(dyrow[j]) * float64(l.Gamma.W.V[j])
+			dxrow[j] = float32(rstd * (dhat - sumDhat/n - xhat*sumDhatXhat/n))
+		}
+	}
+	return dx
+}
+
+func (l *LayerNorm) params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// geluForward applies the tanh-approximated GELU elementwise.
+func geluForward(x *Mat) *Mat {
+	y := NewMat(x.R, x.C)
+	for i, v := range x.V {
+		y.V[i] = float32(gelu(float64(v)))
+	}
+	return y
+}
+
+func gelu(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+func geluGrad(x float64) float64 {
+	const c = 0.7978845608028654
+	t := math.Tanh(c * (x + 0.044715*x*x*x))
+	dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*dt
+}
+
+// MLP is the transformer feed-forward block: Linear → GELU → Linear.
+type MLP struct {
+	Up, Down *Linear
+	pre      *Mat // pre-GELU cache
+}
+
+// NewMLP builds an MLP with the given hidden expansion.
+func NewMLP(rng *rand.Rand, name string, dim, hidden int) *MLP {
+	return &MLP{
+		Up:   NewLinear(rng, name+".up", dim, hidden),
+		Down: NewLinear(rng, name+".down", hidden, dim),
+	}
+}
+
+// Forward runs the feed-forward block.
+func (m *MLP) Forward(x *Mat) *Mat {
+	m.pre = m.Up.Forward(x)
+	return m.Down.Forward(geluForward(m.pre))
+}
+
+// Backward propagates through the block.
+func (m *MLP) Backward(dy *Mat) *Mat {
+	dh := m.Down.Backward(dy)
+	for i, v := range m.pre.V {
+		dh.V[i] *= float32(geluGrad(float64(v)))
+	}
+	return m.Up.Backward(dh)
+}
+
+func (m *MLP) params() []*Param {
+	return append(m.Up.params(), m.Down.params()...)
+}

@@ -1,0 +1,122 @@
+package nn
+
+import "math"
+
+// Adam is the standard Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// FreezeVariance stops second-moment updates (used by the 1-bit Adam
+	// baseline after its warm-up phase).
+	FreezeVariance bool
+
+	step int
+	m, v map[string][]float32
+}
+
+// NewAdam returns Adam with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[string][]float32{}, v: map[string][]float32{}}
+}
+
+// Step applies one update from the parameters' accumulated gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m := a.state(a.m, p)
+		v := a.state(a.v, p)
+		for i, g := range p.G.V {
+			gf := float64(g)
+			m[i] = float32(a.Beta1*float64(m[i]) + (1-a.Beta1)*gf)
+			if !a.FreezeVariance {
+				v[i] = float32(a.Beta2*float64(v[i]) + (1-a.Beta2)*gf*gf)
+			}
+			mh := float64(m[i]) / bc1
+			vh := float64(v[i]) / bc2
+			p.W.V[i] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+		}
+	}
+}
+
+func (a *Adam) state(store map[string][]float32, p *Param) []float32 {
+	s, ok := store[p.Name]
+	if !ok {
+		s = make([]float32, len(p.W.V))
+		store[p.Name] = s
+	}
+	return s
+}
+
+// LAMB is the layer-wise adaptive large-batch optimizer: Adam's update
+// direction scaled per-parameter-tensor by the trust ratio ‖w‖/‖u‖.
+type LAMB struct {
+	LR, Beta1, Beta2, Eps float64
+	FreezeVariance        bool
+
+	step int
+	m, v map[string][]float32
+}
+
+// NewLAMB returns LAMB with the usual defaults.
+func NewLAMB(lr float64) *LAMB {
+	return &LAMB{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[string][]float32{}, v: map[string][]float32{}}
+}
+
+// Step applies one LAMB update.
+func (l *LAMB) Step(params []*Param) {
+	l.step++
+	bc1 := 1 - math.Pow(l.Beta1, float64(l.step))
+	bc2 := 1 - math.Pow(l.Beta2, float64(l.step))
+	for _, p := range params {
+		m := l.stateFor(l.m, p)
+		v := l.stateFor(l.v, p)
+		update := make([]float64, len(p.W.V))
+		var wNorm, uNorm float64
+		for i, g := range p.G.V {
+			gf := float64(g)
+			m[i] = float32(l.Beta1*float64(m[i]) + (1-l.Beta1)*gf)
+			if !l.FreezeVariance {
+				v[i] = float32(l.Beta2*float64(v[i]) + (1-l.Beta2)*gf*gf)
+			}
+			mh := float64(m[i]) / bc1
+			vh := float64(v[i]) / bc2
+			u := mh / (math.Sqrt(vh) + l.Eps)
+			update[i] = u
+			uNorm += u * u
+			wNorm += float64(p.W.V[i]) * float64(p.W.V[i])
+		}
+		wNorm, uNorm = math.Sqrt(wNorm), math.Sqrt(uNorm)
+		trust := 1.0
+		if wNorm > 0 && uNorm > 0 {
+			trust = wNorm / uNorm
+			if trust > 10 {
+				trust = 10
+			}
+		}
+		for i := range p.W.V {
+			p.W.V[i] -= float32(l.LR * trust * update[i])
+		}
+	}
+}
+
+func (l *LAMB) stateFor(store map[string][]float32, p *Param) []float32 {
+	s, ok := store[p.Name]
+	if !ok {
+		s = make([]float32, len(p.W.V))
+		store[p.Name] = s
+	}
+	return s
+}
+
+// Optimizer is the interface both trainers accept.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+var (
+	_ Optimizer = (*Adam)(nil)
+	_ Optimizer = (*LAMB)(nil)
+)

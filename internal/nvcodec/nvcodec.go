@@ -1,0 +1,153 @@
+// Package nvcodec models the GPU hardware video engines (NVENC/NVDEC) that
+// LLM.265 runs on: their codec support matrix by GPU generation (Table 2),
+// frame-size limits, 8-bit-input constraint, and measured tensor
+// throughput (§6.1: ≈1100 MB/s encode, ≈1300 MB/s decode). The actual
+// compression runs through the pure-Go codec; this package adds the
+// device-level constraints and timing model, substituting for the real
+// hardware (DESIGN.md §2).
+package nvcodec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+// Support describes one codec's capability on a GPU generation.
+type Support struct {
+	MaxDim int  // maximum frame edge (4K = 4096, 8K = 8192)
+	Encode bool // hardware encode available
+	Decode bool
+}
+
+// Generation is a GPU generation's video-engine capability set (Table 2).
+type Generation struct {
+	Name    string
+	Codecs  map[string]Support
+	EncMBps float64 // measured tensor encode throughput
+	DecMBps float64
+}
+
+// Generations reproduces the paper's Table 2 plus the §6.1 throughput
+// measurements.
+func Generations() []Generation {
+	base := func(name string, av1 bool) Generation {
+		g := Generation{
+			Name: name,
+			Codecs: map[string]Support{
+				"H.264": {MaxDim: 4096, Encode: true, Decode: true},
+				"H.265": {MaxDim: 8192, Encode: true, Decode: true},
+				"VP9":   {MaxDim: 8192, Encode: false, Decode: true},
+			},
+			EncMBps: 1100,
+			DecMBps: 1300,
+		}
+		if av1 {
+			g.Codecs["AV1"] = Support{MaxDim: 8192, Encode: true, Decode: true}
+		}
+		return g
+	}
+	return []Generation{
+		base("Ada Lovelace", true),
+		base("Ampere", false),
+		base("Volta", false),
+	}
+}
+
+// Device is a simulated hardware video engine bound to one GPU generation
+// and codec.
+type Device struct {
+	Gen     Generation
+	Profile codec.Profile
+	sup     Support
+}
+
+// Open validates that the generation supports the profile for both encoding
+// and decoding (the paper excludes VP9 for exactly this reason) and returns
+// a device.
+func Open(gen Generation, profileName string) (*Device, error) {
+	sup, ok := gen.Codecs[profileName]
+	if !ok {
+		return nil, fmt.Errorf("nvcodec: %s has no %s engine", gen.Name, profileName)
+	}
+	if !sup.Encode || !sup.Decode {
+		return nil, fmt.Errorf("nvcodec: %s %s lacks hardware encode+decode", gen.Name, profileName)
+	}
+	var prof codec.Profile
+	switch profileName {
+	case "H.264":
+		prof = codec.H264
+	case "H.265":
+		prof = codec.HEVC
+	case "AV1":
+		prof = codec.AV1
+	default:
+		return nil, fmt.Errorf("nvcodec: unsupported profile %q", profileName)
+	}
+	if sup.MaxDim < prof.MaxFrameDim {
+		prof.MaxFrameDim = sup.MaxDim
+	}
+	return &Device{Gen: gen, Profile: prof, sup: sup}, nil
+}
+
+// Encode runs the hardware-constrained encode: frames must respect the
+// engine's size limit and are 8-bit only (enforced by the plane type).
+// It returns the bitstream, encoder stats, and the modeled wall time the
+// hardware engine would take at its measured throughput.
+func (d *Device) Encode(planes []*frame.Plane, qp int, tools codec.Tools) ([]byte, codec.Stats, time.Duration, error) {
+	for _, p := range planes {
+		if p.W > d.sup.MaxDim || p.H > d.sup.MaxDim {
+			return nil, codec.Stats{}, 0, fmt.Errorf("nvcodec: frame %dx%d exceeds %s %s limit %d",
+				p.W, p.H, d.Gen.Name, d.Profile.Name, d.sup.MaxDim)
+		}
+	}
+	data, st, err := codec.Encode(planes, qp, d.Profile, tools)
+	if err != nil {
+		return nil, codec.Stats{}, 0, err
+	}
+	return data, st, d.EncodeLatency(st.Pixels), nil
+}
+
+// Decode mirrors Encode with the decode-side throughput model.
+func (d *Device) Decode(data []byte) ([]*frame.Plane, time.Duration, error) {
+	planes, err := codec.Decode(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	pixels := 0
+	for _, p := range planes {
+		pixels += p.W * p.H
+	}
+	return planes, d.DecodeLatency(pixels), nil
+}
+
+// EncodeLatency models the engine time to ingest the given number of 8-bit
+// samples at the measured NVENC throughput.
+func (d *Device) EncodeLatency(samples int) time.Duration {
+	sec := float64(samples) / (d.Gen.EncMBps * 1e6)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// DecodeLatency models the engine time to emit the given number of samples.
+func (d *Device) DecodeLatency(samples int) time.Duration {
+	sec := float64(samples) / (d.Gen.DecMBps * 1e6)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// EffectiveBandwidthMBps reports the end-to-end tensor bandwidth of a
+// compress-transfer-decompress path: the minimum of encode, wire and decode
+// rates, where the wire carries compressed bytes (§6.1: the engines cap the
+// GPU's end-to-end communication bandwidth at ≈1100 MB/s).
+func (d *Device) EffectiveBandwidthMBps(wireMBps, compressionRatio float64) float64 {
+	wire := wireMBps * compressionRatio // payload rate the wire sustains
+	bw := d.Gen.EncMBps
+	if wire < bw {
+		bw = wire
+	}
+	if d.Gen.DecMBps < bw {
+		bw = d.Gen.DecMBps
+	}
+	return bw
+}

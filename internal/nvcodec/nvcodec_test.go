@@ -1,0 +1,116 @@
+package nvcodec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+func TestSupportMatrixMatchesTable2(t *testing.T) {
+	gens := Generations()
+	if len(gens) != 3 {
+		t.Fatalf("want 3 generations, got %d", len(gens))
+	}
+	for _, g := range gens {
+		if g.Codecs["H.264"].MaxDim != 4096 {
+			t.Errorf("%s: H.264 should be 4K", g.Name)
+		}
+		if g.Codecs["H.265"].MaxDim != 8192 || !g.Codecs["H.265"].Encode {
+			t.Errorf("%s: H.265 should be 8K enc/dec", g.Name)
+		}
+		if g.Codecs["VP9"].Encode {
+			t.Errorf("%s: VP9 must be decode-only", g.Name)
+		}
+		if _, hasAV1 := g.Codecs["AV1"]; hasAV1 != (g.Name == "Ada Lovelace") {
+			t.Errorf("%s: AV1 support wrong", g.Name)
+		}
+	}
+}
+
+func TestOpenRejectsVP9(t *testing.T) {
+	// The paper excludes VP9 because it decodes but cannot encode.
+	if _, err := Open(Generations()[0], "VP9"); err == nil {
+		t.Fatal("VP9 opened despite lacking hardware encode")
+	}
+}
+
+func TestOpenRejectsAV1OnAmpere(t *testing.T) {
+	if _, err := Open(Generations()[1], "AV1"); err == nil {
+		t.Fatal("Ampere has no AV1 engine")
+	}
+	if _, err := Open(Generations()[0], "AV1"); err != nil {
+		t.Fatalf("Ada should support AV1: %v", err)
+	}
+}
+
+func TestDeviceEncodeDecodeRoundTrip(t *testing.T) {
+	dev, err := Open(Generations()[1], "H.265")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := frame.NewPlane(64, 64)
+	rng.Read(p.Pix)
+	data, st, encT, err := dev.Encode([]*frame.Plane{p}, 24, codec.AllTools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encT <= 0 {
+		t.Fatal("encode latency must be positive")
+	}
+	dec, decT, err := dev.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decT <= 0 || len(dec) != 1 || dec[0].MSE(p) != st.MSE {
+		t.Fatalf("device decode mismatch: %v frames, mse %.4f vs %.4f", len(dec), dec[0].MSE(p), st.MSE)
+	}
+}
+
+func TestFrameLimitEnforced(t *testing.T) {
+	dev, err := Open(Generations()[1], "H.264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := frame.NewPlane(4097, 16)
+	if _, _, _, err := dev.Encode([]*frame.Plane{p}, 24, codec.AllTools); err == nil {
+		t.Fatal("4K limit not enforced for H.264")
+	}
+}
+
+func TestThroughputModel(t *testing.T) {
+	dev, err := Open(Generations()[1], "H.265")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1100 MB/s → 1 MB takes ~0.909 ms.
+	lat := dev.EncodeLatency(1 << 20)
+	sec := float64(1<<20) / 1100e6
+	want := time.Duration(sec * float64(time.Second))
+	if d := lat - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("encode latency %v, want %v", lat, want)
+	}
+	if dev.DecodeLatency(1<<20) >= lat {
+		t.Fatal("decode should be faster than encode (1300 vs 1100 MB/s)")
+	}
+}
+
+func TestEffectiveBandwidthCappedByEngine(t *testing.T) {
+	dev, err := Open(Generations()[1], "H.265")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fast wire (12.5 GB/s = 100 Gbps) with 5× compression sustains
+	// 62.5 GB/s of payload — but the engine caps everything at 1100 MB/s,
+	// the §6.1 bottleneck.
+	if bw := dev.EffectiveBandwidthMBps(12500, 5); bw != 1100 {
+		t.Fatalf("effective bandwidth %.0f, want engine cap 1100", bw)
+	}
+	// A slow wire (100 MB/s) with 2× compression: wire-bound at 200 MB/s.
+	if bw := dev.EffectiveBandwidthMBps(100, 2); bw != 200 {
+		t.Fatalf("effective bandwidth %.0f, want 200", bw)
+	}
+}

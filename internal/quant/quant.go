@@ -1,0 +1,285 @@
+// Package quant implements the scalar quantizers LLM.265 is compared against
+// and composed with: round-to-nearest (RTN) quantization in symmetric,
+// asymmetric and group-wise forms, 8-bit conversion for the codec front-end,
+// and microscaling floating-point (MXFP) formats.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// RTNSymmetric quantizes data to the given bit width with the paper's
+// formula Q(w) = Δ·Round(w/Δ), Δ = max|w| / 2^(N−1), returning the
+// dequantized values.
+func RTNSymmetric(data []float32, bits int) []float32 {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("quant: bits %d out of range", bits))
+	}
+	var amax float64
+	for _, v := range data {
+		if a := math.Abs(float64(v)); a > amax {
+			amax = a
+		}
+	}
+	out := make([]float32, len(data))
+	if amax == 0 {
+		return out
+	}
+	delta := amax / float64(int64(1)<<(bits-1))
+	qmin := -float64(int64(1) << (bits - 1))
+	qmax := float64(int64(1)<<(bits-1)) - 1
+	for i, v := range data {
+		q := math.Round(float64(v) / delta)
+		if q < qmin {
+			q = qmin
+		}
+		if q > qmax {
+			q = qmax
+		}
+		out[i] = float32(q * delta)
+	}
+	return out
+}
+
+// RTNAsymmetric quantizes with a min-max affine mapping (zero-point
+// quantization), returning the dequantized values.
+func RTNAsymmetric(data []float32, bits int) []float32 {
+	out := make([]float32, len(data))
+	rtnAsymmetricInto(out, data, bits)
+	return out
+}
+
+func rtnAsymmetricInto(dst, data []float32, bits int) {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("quant: bits %d out of range", bits))
+	}
+	lo, hi := minMax(data)
+	levels := float64(int64(1)<<bits) - 1
+	if hi == lo {
+		for i := range dst {
+			dst[i] = lo
+		}
+		return
+	}
+	scale := (float64(hi) - float64(lo)) / levels
+	for i, v := range data {
+		q := math.Round((float64(v) - float64(lo)) / scale)
+		if q < 0 {
+			q = 0
+		}
+		if q > levels {
+			q = levels
+		}
+		dst[i] = float32(float64(lo) + q*scale)
+	}
+}
+
+// RTNGroupwise applies asymmetric RTN independently to groups of groupSize
+// consecutive values (the "-128G" configurations in the paper's Table 1).
+// It returns the dequantized values and the effective storage cost in bits
+// per value, accounting for one FP16 scale and FP16 zero-point per group.
+func RTNGroupwise(data []float32, bits, groupSize int) ([]float32, float64) {
+	if groupSize <= 0 {
+		panic("quant: groupSize must be positive")
+	}
+	out := make([]float32, len(data))
+	groups := 0
+	for start := 0; start < len(data); start += groupSize {
+		end := start + groupSize
+		if end > len(data) {
+			end = len(data)
+		}
+		rtnAsymmetricInto(out[start:end], data[start:end], bits)
+		groups++
+	}
+	meta := float64(groups) * 32 // FP16 scale + FP16 zero per group
+	bpv := float64(bits) + meta/float64(len(data))
+	return out, bpv
+}
+
+func minMax(data []float32) (lo, hi float32) {
+	lo, hi = float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// ToUint8 maps data onto [0, 255] with an affine min-max transform, returning
+// the pixels plus the scale and zero needed to invert: v ≈ zero + scale·pix.
+// This is the codec front-end conversion (§3.2: "FP16 values need to be
+// first rounded to 8 bits ... before feeding to HEVC codec").
+func ToUint8(data []float32) (pix []uint8, scale, zero float32) {
+	lo, hi := minMax(data)
+	pix = make([]uint8, len(data))
+	if hi == lo {
+		return pix, 0, lo
+	}
+	s := (float64(hi) - float64(lo)) / 255
+	inv := 1 / s
+	for i, v := range data {
+		q := math.Round((float64(v) - float64(lo)) * inv)
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		pix[i] = uint8(q)
+	}
+	return pix, float32(s), lo
+}
+
+// FromUint8 inverts ToUint8.
+func FromUint8(pix []uint8, scale, zero float32) []float32 {
+	out := make([]float32, len(pix))
+	for i, p := range pix {
+		out[i] = zero + scale*float32(p)
+	}
+	return out
+}
+
+// MXFPFormat describes a microscaling floating-point element format
+// (exponent/mantissa bit split), per the OCP MX spec the paper cites [67].
+type MXFPFormat struct {
+	Name    string
+	ExpBits int
+	ManBits int
+	grid    []float64 // positive representable magnitudes, ascending
+}
+
+// Standard MX element formats.
+var (
+	MXFP4 = newMXFPFormat("MXFP4", 2, 1)
+	MXFP6 = newMXFPFormat("MXFP6", 3, 2)
+	MXFP8 = newMXFPFormat("MXFP8", 4, 3)
+)
+
+func newMXFPFormat(name string, e, m int) *MXFPFormat {
+	f := &MXFPFormat{Name: name, ExpBits: e, ManBits: m}
+	bias := 1<<(e-1) - 1
+	seen := map[float64]bool{}
+	// Subnormals: exponent field 0 → value = mant/2^m · 2^(1-bias).
+	for mant := 0; mant < 1<<m; mant++ {
+		v := float64(mant) / float64(int(1)<<m) * math.Pow(2, float64(1-bias))
+		if !seen[v] {
+			seen[v] = true
+			f.grid = append(f.grid, v)
+		}
+	}
+	// Normals.
+	for exp := 1; exp < 1<<e; exp++ {
+		for mant := 0; mant < 1<<m; mant++ {
+			v := (1 + float64(mant)/float64(int(1)<<m)) * math.Pow(2, float64(exp-bias))
+			if !seen[v] {
+				seen[v] = true
+				f.grid = append(f.grid, v)
+			}
+		}
+	}
+	sortFloats(f.grid)
+	return f
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Bits reports the element width including the sign bit.
+func (f *MXFPFormat) Bits() int { return 1 + f.ExpBits + f.ManBits }
+
+// Max reports the largest representable magnitude.
+func (f *MXFPFormat) Max() float64 { return f.grid[len(f.grid)-1] }
+
+// nearest returns the closest representable magnitude to |v|.
+func (f *MXFPFormat) nearest(v float64) float64 {
+	lo, hi := 0, len(f.grid)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.grid[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && v-f.grid[lo-1] < f.grid[lo]-v {
+		return f.grid[lo-1]
+	}
+	return f.grid[lo]
+}
+
+// MXBlockSize is the standard MX scaling-block length.
+const MXBlockSize = 32
+
+// MXFPQuantize quantizes data into the MX format: each block of MXBlockSize
+// values shares an 8-bit power-of-two scale; elements are rounded to the
+// format's grid. Returns dequantized values and storage bits per value
+// (element bits plus the amortized shared scale).
+func MXFPQuantize(data []float32, f *MXFPFormat) ([]float32, float64) {
+	out := make([]float32, len(data))
+	blocks := 0
+	for start := 0; start < len(data); start += MXBlockSize {
+		end := start + MXBlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blocks++
+		var amax float64
+		for _, v := range data[start:end] {
+			if a := math.Abs(float64(v)); a > amax {
+				amax = a
+			}
+		}
+		if amax == 0 {
+			continue
+		}
+		// Shared scale: power of two putting amax at the top of the grid.
+		e := math.Ceil(math.Log2(amax / f.Max()))
+		scale := math.Pow(2, e)
+		for i := start; i < end; i++ {
+			v := float64(data[i]) / scale
+			q := f.nearest(math.Abs(v))
+			if v < 0 {
+				q = -q
+			}
+			out[i] = float32(q * scale)
+		}
+	}
+	bpv := float64(f.Bits()) + float64(blocks)*8/float64(len(data))
+	return out, bpv
+}
+
+// MSE computes the mean squared error between two equal-length slices.
+func MSE(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("quant: MSE length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// MAE computes the mean absolute error between two equal-length slices.
+func MAE(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("quant: MAE length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return s / float64(len(a))
+}

@@ -1,0 +1,204 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVals(rng *rand.Rand, n int, scale float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64() * scale)
+	}
+	return v
+}
+
+func TestRTNSymmetricErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randVals(rng, 1000, 1)
+	for _, bits := range []int{2, 4, 8} {
+		q := RTNSymmetric(data, bits)
+		var amax float64
+		for _, v := range data {
+			if a := math.Abs(float64(v)); a > amax {
+				amax = a
+			}
+		}
+		delta := amax / float64(int64(1)<<(bits-1))
+		for i := range data {
+			err := math.Abs(float64(q[i]) - float64(data[i]))
+			// Clamping at +amax can cost up to delta.
+			if err > delta+1e-6 {
+				t.Fatalf("bits=%d idx=%d: err %.5f > delta %.5f", bits, i, err, delta)
+			}
+		}
+	}
+}
+
+func TestRTNMoreBitsLessError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randVals(rng, 4000, 1)
+	prev := math.Inf(1)
+	for _, bits := range []int{2, 3, 4, 6, 8} {
+		m := MSE(data, RTNSymmetric(data, bits))
+		if m >= prev {
+			t.Fatalf("bits=%d: MSE %.6f not below previous %.6f", bits, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestRTNAsymmetricHandlesOffset(t *testing.T) {
+	// A shifted distribution wastes half the symmetric grid; asymmetric
+	// quantization must do better.
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float32, 2000)
+	for i := range data {
+		data[i] = float32(5 + rng.NormFloat64())
+	}
+	sym := MSE(data, RTNSymmetric(data, 4))
+	asym := MSE(data, RTNAsymmetric(data, 4))
+	if asym >= sym {
+		t.Fatalf("asymmetric MSE %.6f should beat symmetric %.6f on offset data", asym, sym)
+	}
+}
+
+func TestRTNGroupwiseBeatsPerTensorWithOutliers(t *testing.T) {
+	// Group-wise quantization contains the damage of an outlier to its
+	// group — the reason GPTQ-128G/AWQ-128G exist.
+	rng := rand.New(rand.NewSource(4))
+	data := randVals(rng, 4096, 1)
+	data[100] = 80 // massive outlier
+	perTensor := MSE(data, RTNAsymmetric(data, 3))
+	grouped, bpv := RTNGroupwise(data, 3, 128)
+	g := MSE(data, grouped)
+	if g >= perTensor {
+		t.Fatalf("groupwise MSE %.6f should beat per-tensor %.6f", g, perTensor)
+	}
+	wantBPV := 3 + 32.0/128
+	if math.Abs(bpv-wantBPV) > 1e-9 {
+		t.Fatalf("groupwise bpv = %.4f, want %.4f", bpv, wantBPV)
+	}
+}
+
+func TestToFromUint8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randVals(rng, 3000, 2)
+	pix, scale, zero := ToUint8(data)
+	back := FromUint8(pix, scale, zero)
+	lo, hi := minMax(data)
+	maxErr := (float64(hi) - float64(lo)) / 255 / 2
+	for i := range data {
+		if err := math.Abs(float64(back[i]) - float64(data[i])); err > maxErr+1e-6 {
+			t.Fatalf("idx %d: err %.6f > half-step %.6f", i, err, maxErr)
+		}
+	}
+}
+
+func TestToUint8Constant(t *testing.T) {
+	data := []float32{3.5, 3.5, 3.5}
+	pix, scale, zero := ToUint8(data)
+	back := FromUint8(pix, scale, zero)
+	for i := range back {
+		if back[i] != 3.5 {
+			t.Fatalf("constant roundtrip: %v", back)
+		}
+	}
+}
+
+func TestToUint8Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 2
+		data := randVals(rng, n, math.Abs(rng.NormFloat64())+0.1)
+		pix, scale, zero := ToUint8(data)
+		back := FromUint8(pix, scale, zero)
+		lo, hi := minMax(data)
+		tol := (float64(hi)-float64(lo))/255*0.51 + 1e-5
+		for i := range data {
+			if math.Abs(float64(back[i])-float64(data[i])) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMXFPFormats(t *testing.T) {
+	if MXFP4.Bits() != 4 || MXFP6.Bits() != 6 || MXFP8.Bits() != 8 {
+		t.Fatalf("format widths wrong: %d %d %d", MXFP4.Bits(), MXFP6.Bits(), MXFP8.Bits())
+	}
+	// E2M1 magnitudes are the well-known {0, .5, 1, 1.5, 2, 3, 4, 6}.
+	want := []float64{0, 0.5, 1, 1.5, 2, 3, 4, 6}
+	if len(MXFP4.grid) != len(want) {
+		t.Fatalf("MXFP4 grid %v", MXFP4.grid)
+	}
+	for i, w := range want {
+		if math.Abs(MXFP4.grid[i]-w) > 1e-12 {
+			t.Fatalf("MXFP4 grid[%d] = %v, want %v", i, MXFP4.grid[i], w)
+		}
+	}
+}
+
+func TestMXFPQuantizeAccuracyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randVals(rng, 4096, 1)
+	m4, b4 := MXFPQuantize(data, MXFP4)
+	m6, b6 := MXFPQuantize(data, MXFP6)
+	m8, b8 := MXFPQuantize(data, MXFP8)
+	e4, e6, e8 := MSE(data, m4), MSE(data, m6), MSE(data, m8)
+	if !(e8 < e6 && e6 < e4) {
+		t.Fatalf("MXFP error order wrong: fp4 %.6f fp6 %.6f fp8 %.6f", e4, e6, e8)
+	}
+	if !(b4 < b6 && b6 < b8) {
+		t.Fatalf("MXFP bpv order wrong: %f %f %f", b4, b6, b8)
+	}
+	if math.Abs(b4-(4+0.25)) > 1e-9 {
+		t.Fatalf("MXFP4 bpv %.4f, want 4.25", b4)
+	}
+}
+
+func TestMXFPBlockScalingHandlesDynamicRange(t *testing.T) {
+	// Values spanning many octaves across blocks: per-block scaling keeps
+	// the relative error bounded everywhere.
+	data := make([]float32, 128)
+	for b := 0; b < 4; b++ {
+		mag := math.Pow(10, float64(b)-2)
+		for i := 0; i < 32; i++ {
+			data[b*32+i] = float32(mag * (1 + float64(i)/40))
+		}
+	}
+	q, _ := MXFPQuantize(data, MXFP6)
+	for i := range data {
+		rel := math.Abs(float64(q[i])-float64(data[i])) / math.Abs(float64(data[i]))
+		if rel > 0.15 {
+			t.Fatalf("idx %d: relative error %.3f too large", i, rel)
+		}
+	}
+}
+
+func TestMXFPZeroBlock(t *testing.T) {
+	data := make([]float32, 64)
+	q, _ := MXFPQuantize(data, MXFP4)
+	for i, v := range q {
+		if v != 0 {
+			t.Fatalf("zero block produced %v at %d", v, i)
+		}
+	}
+}
+
+func TestMSEAndMAE(t *testing.T) {
+	a := []float32{0, 0, 0, 0}
+	b := []float32{1, -1, 2, 0}
+	if got := MSE(a, b); got != 1.5 {
+		t.Fatalf("MSE = %v, want 1.5", got)
+	}
+	if got := MAE(a, b); got != 1 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+}

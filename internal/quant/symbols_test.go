@@ -1,0 +1,75 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRTNSymbolsMatchDequant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randVals(rng, 1000, 1)
+	sym, rec, groups := RTNSymbols(data, 4, 128)
+	if groups != 8 {
+		t.Fatalf("groups = %d, want 8", groups)
+	}
+	// The symbols must stay within the 4-bit alphabet and the
+	// reconstruction must match plain groupwise RTN.
+	for i, s := range sym {
+		if s > 15 {
+			t.Fatalf("symbol %d out of range: %d", i, s)
+		}
+	}
+	plain, _ := RTNGroupwise(data, 4, 128)
+	for i := range rec {
+		if rec[i] != plain[i] {
+			t.Fatalf("reconstruction differs from RTNGroupwise at %d", i)
+		}
+	}
+}
+
+func TestRTNSymbolsConstantGroup(t *testing.T) {
+	data := make([]float32, 64)
+	for i := range data {
+		data[i] = 3
+	}
+	sym, rec, _ := RTNSymbols(data, 3, 32)
+	for i := range rec {
+		if rec[i] != 3 || sym[i] != 0 {
+			t.Fatalf("constant group mishandled: rec %v sym %v", rec[i], sym[i])
+		}
+	}
+}
+
+func TestMXFPSymbolsMatchDequant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randVals(rng, 512, 2)
+	sym, rec, scaleBytes := MXFPSymbols(data, MXFP6)
+	if scaleBytes != 512/MXBlockSize {
+		t.Fatalf("scaleBytes = %d", scaleBytes)
+	}
+	plain, _ := MXFPQuantize(data, MXFP6)
+	for i := range rec {
+		if rec[i] != plain[i] {
+			t.Fatalf("MXFP symbols dequant differs at %d: %v vs %v", i, rec[i], plain[i])
+		}
+	}
+	// Sign bit must agree with the reconstruction sign.
+	for i := range rec {
+		if rec[i] < 0 && sym[i]&0x80 == 0 {
+			t.Fatalf("negative value without sign bit at %d", i)
+		}
+		if rec[i] > 0 && sym[i]&0x80 != 0 {
+			t.Fatalf("positive value with sign bit at %d", i)
+		}
+	}
+}
+
+func TestNearestIndexAgreesWithNearest(t *testing.T) {
+	for _, f := range []*MXFPFormat{MXFP4, MXFP6, MXFP8} {
+		for v := 0.0; v < f.Max()*1.2; v += f.Max() / 100 {
+			if got, want := f.grid[f.nearestIndex(v)], f.nearest(v); got != want {
+				t.Fatalf("%s: nearestIndex(%f) -> %f, nearest -> %f", f.Name, v, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package tensorgen synthesizes tensors with the statistical structure the
+// paper identifies in LLM weights, activations and gradients (§3.1):
+// bell-shaped value distributions, channel-wise scales (which render as
+// edges/planar regions when viewed as images), heavy-tailed outliers
+// (which transform coding amortizes), and weak inter-layer correlation
+// (which makes inter-frame prediction useless).
+//
+// These generators substitute for the LLaMA/Pythia checkpoints the paper
+// uses; see DESIGN.md §2 for the substitution argument.
+package tensorgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Weights generates a rows×cols weight matrix with the image-like structure
+// of trained LLM weights: per-row (output channel) means and log-normal
+// scales (the brightness bands of the paper's Fig. 4), a few smooth
+// low-frequency modes (planar regions), and sparse outlier columns
+// mimicking the channel-aligned outliers of trained transformers.
+func Weights(rng *rand.Rand, rows, cols int) []float32 {
+	w := make([]float32, rows*cols)
+	rowScale := make([]float64, rows)
+	rowMean := make([]float64, rows)
+	for r := range rowScale {
+		rowScale[r] = math.Exp(rng.NormFloat64() * 0.5)
+		// Per-channel means render as the brightness bands of the paper's
+		// Fig. 4 weight images — the "edges" intra prediction captures.
+		rowMean[r] = rng.NormFloat64() * 0.08
+	}
+	// A few random low-frequency modes: trained weights carry smooth 2-D
+	// structure (the "planar blocks" of §3.1) that transform coding
+	// compacts.
+	type mode struct{ amp, fr, fc, pr, pc float64 }
+	modes := make([]mode, 3)
+	for i := range modes {
+		modes[i] = mode{
+			amp: 0.03 * (0.5 + rng.Float64()),
+			fr:  2 * math.Pi * (0.5 + 2*rng.Float64()) / float64(rows),
+			fc:  2 * math.Pi * (0.5 + 2*rng.Float64()) / float64(cols),
+			pr:  rng.Float64() * 2 * math.Pi,
+			pc:  rng.Float64() * 2 * math.Pi,
+		}
+	}
+	// ~0.5% of columns carry systematically larger values.
+	outCol := map[int]float64{}
+	for c := 0; c < cols; c++ {
+		if rng.Float64() < 0.005 {
+			outCol[c] = 4 + rng.Float64()*12
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := rowMean[r] + rng.NormFloat64()*0.012*rowScale[r]
+			for _, md := range modes {
+				v += md.amp * math.Cos(md.fr*float64(r)+md.pr) * math.Cos(md.fc*float64(c)+md.pc)
+			}
+			if m, ok := outCol[c]; ok {
+				v *= m
+			}
+			w[r*cols+c] = float32(v)
+		}
+	}
+	return w
+}
+
+// WeightStack generates depth layer matrices with only weak inter-layer
+// correlation (correlation coefficient rho between consecutive layers),
+// matching the paper's finding that inter-frame prediction does not help.
+func WeightStack(rng *rand.Rand, depth, rows, cols int, rho float64) [][]float32 {
+	stack := make([][]float32, depth)
+	prev := Weights(rng, rows, cols)
+	stack[0] = prev
+	for l := 1; l < depth; l++ {
+		next := Weights(rng, rows, cols)
+		if rho != 0 {
+			for i := range next {
+				next[i] = float32(rho*float64(prev[i]) + math.Sqrt(1-rho*rho)*float64(next[i]))
+			}
+		}
+		stack[l] = next
+		prev = next
+	}
+	return stack
+}
+
+// Activations generates a rows×cols activation matrix (tokens × channels):
+// per-channel scales plus the severe channel outliers SmoothQuant documents
+// (a few channels 20–100× larger than the rest).
+func Activations(rng *rand.Rand, rows, cols int) []float32 {
+	a := make([]float32, rows*cols)
+	chScale := make([]float64, cols)
+	for c := range chScale {
+		chScale[c] = math.Exp(rng.NormFloat64() * 0.4)
+		if rng.Float64() < 0.01 {
+			chScale[c] *= 20 + rng.Float64()*80
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			a[r*cols+c] = float32(rng.NormFloat64() * chScale[c])
+		}
+	}
+	return a
+}
+
+// Gradients generates n gradient values whose per-dimension ranges span
+// rangeOrders orders of magnitude — the paper observes this variance grows
+// from 1 to 3 orders as training progresses (§5.1), which is what defeats
+// naive gradient quantization.
+func Gradients(rng *rand.Rand, n int, rangeOrders float64) []float32 {
+	g := make([]float32, n)
+	const dim = 64 // values come in per-dimension groups
+	var scale float64 = 1
+	for i := 0; i < n; i++ {
+		if i%dim == 0 {
+			scale = math.Pow(10, (rng.Float64()-0.5)*rangeOrders)
+		}
+		v := rng.NormFloat64() * 1e-3 * scale
+		// Occasional heavy-tail spikes.
+		if rng.Float64() < 0.001 {
+			v *= 50
+		}
+		g[i] = float32(v)
+	}
+	return g
+}
+
+// NormalWithOutliers draws n values from N(0, sigma²) and replaces a
+// fraction outlierFrac with values of magnitude outlierMag — the Fig. 3
+// input distribution.
+func NormalWithOutliers(rng *rand.Rand, n int, sigma, outlierFrac, outlierMag float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		x := rng.NormFloat64() * sigma
+		if rng.Float64() < outlierFrac {
+			x = outlierMag * math.Copysign(1, rng.NormFloat64())
+		}
+		v[i] = float32(x)
+	}
+	return v
+}
+
+// Kurtosis computes the excess kurtosis of data — the outlier diagnostic
+// used in the Fig. 3 reproduction (heavy tails → large positive kurtosis;
+// post-DCT the distribution should be near-Gaussian, kurtosis ≈ 0).
+func Kurtosis(data []float64) float64 {
+	n := float64(len(data))
+	var mean float64
+	for _, v := range data {
+		mean += v
+	}
+	mean /= n
+	var m2, m4 float64
+	for _, v := range data {
+		d := v - mean
+		m2 += d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+// PeakToSigma reports max|x| / σ, a simple outlier severity measure.
+func PeakToSigma(data []float64) float64 {
+	var mean float64
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	var m2, peak float64
+	for _, v := range data {
+		d := v - mean
+		m2 += d * d
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	m2 /= float64(len(data))
+	if m2 == 0 {
+		return 0
+	}
+	return peak / math.Sqrt(m2)
+}

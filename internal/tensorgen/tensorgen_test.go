@@ -1,0 +1,134 @@
+package tensorgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dct"
+)
+
+func TestWeightsHaveChannelStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Weights(rng, 64, 256)
+	// Per-row standard deviations must vary substantially (log-normal
+	// channel scales) — the structure intra prediction exploits.
+	stds := make([]float64, 64)
+	for r := 0; r < 64; r++ {
+		var m2 float64
+		for c := 0; c < 256; c++ {
+			v := float64(w[r*256+c])
+			m2 += v * v
+		}
+		stds[r] = math.Sqrt(m2 / 256)
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, s := range stds {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi/lo < 2 {
+		t.Fatalf("row scales too uniform: min %.4f max %.4f", lo, hi)
+	}
+}
+
+func TestActivationsHaveOutlierChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Activations(rng, 256, 512)
+	vals := make([]float64, len(a))
+	for i, v := range a {
+		vals[i] = float64(v)
+	}
+	if k := Kurtosis(vals); k < 3 {
+		t.Fatalf("activation kurtosis %.2f too small — missing outliers", k)
+	}
+}
+
+func TestGradientRangeVarianceGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	early := Gradients(rng, 1<<14, 1)
+	late := Gradients(rng, 1<<14, 3)
+	spread := func(g []float32) float64 {
+		vals := make([]float64, len(g))
+		for i, v := range g {
+			vals[i] = float64(v)
+		}
+		return PeakToSigma(vals)
+	}
+	if spread(late) <= spread(early) {
+		t.Fatalf("late-training gradients should have wider spread: early %.2f late %.2f",
+			spread(early), spread(late))
+	}
+}
+
+func TestWeightStackCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	high := WeightStack(rng, 2, 64, 64, 0.9)
+	low := WeightStack(rng, 2, 64, 64, 0.0)
+	corr := func(a, b []float32) float64 {
+		var sa, sb, sab, saa, sbb float64
+		n := float64(len(a))
+		for i := range a {
+			x, y := float64(a[i]), float64(b[i])
+			sa += x
+			sb += y
+			sab += x * y
+			saa += x * x
+			sbb += y * y
+		}
+		cov := sab/n - sa/n*sb/n
+		return cov / math.Sqrt((saa/n-sa/n*sa/n)*(sbb/n-sb/n*sb/n))
+	}
+	if c := corr(high[0], high[1]); c < 0.5 {
+		t.Fatalf("rho=0.9 stack correlation %.3f too low", c)
+	}
+	if c := corr(low[0], low[1]); math.Abs(c) > 0.2 {
+		t.Fatalf("rho=0 stack correlation %.3f too high", c)
+	}
+}
+
+func TestNormalWithOutliersAndDCTDeOutliering(t *testing.T) {
+	// End-to-end Fig. 3 mechanism on generated data: kurtosis collapses
+	// after the DCT.
+	rng := rand.New(rand.NewSource(5))
+	n := 32
+	v := NormalWithOutliers(rng, n*n, 1, 0.01, 30)
+	spatial := make([]float64, n*n)
+	for i, x := range v {
+		spatial[i] = float64(x)
+	}
+	coef := dct.ForwardFloat(spatial, n)
+	kIn := Kurtosis(spatial)
+	kOut := Kurtosis(coef)
+	if kIn < 5 {
+		t.Fatalf("input kurtosis %.2f too small for the test to be meaningful", kIn)
+	}
+	if kOut > kIn/3 {
+		t.Fatalf("DCT did not de-outlier: kurtosis %.2f -> %.2f", kIn, kOut)
+	}
+}
+
+func TestKurtosisOfGaussianNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	v := make([]float64, 1<<16)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	if k := Kurtosis(v); math.Abs(k) > 0.2 {
+		t.Fatalf("gaussian kurtosis %.3f, want ~0", k)
+	}
+}
+
+func TestPeakToSigma(t *testing.T) {
+	v := []float64{1, -1, 1, -1, 10}
+	if p := PeakToSigma(v); p < 2 {
+		t.Fatalf("peak/sigma %.2f too small", p)
+	}
+	if PeakToSigma([]float64{0, 0, 0}) != 0 {
+		t.Fatal("degenerate case")
+	}
+}

@@ -1,0 +1,140 @@
+package train
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+// GradCompressor compresses one replica's gradient *bucket* — the flattened
+// concatenation of all weight-matrix gradients, the unit real all-reduce
+// implementations (NCCL buckets, DeepSpeed fusion buffers) operate on —
+// returning what the reducer receives and the wire bits per value.
+type GradCompressor func(replica int, bucket *nn.Mat) (*nn.Mat, float64, error)
+
+// bucketCols is the width gradient buckets are reshaped to before
+// compression; 128 keeps frames near-square for typical model sizes.
+const bucketCols = 128
+
+// DPConfig configures data-parallel training.
+type DPConfig struct {
+	Replicas int
+	Batch    int // per-replica batch size
+
+	// Compress is applied to each replica's gradient bucket (all weight
+	// matrices ≥8×8, flattened). Small tensors (biases, LayerNorms) always
+	// travel in FP16, matching how the gradient-compression literature
+	// treats them.
+	Compress GradCompressor
+
+	EvalEvery   int
+	EvalBatches int
+}
+
+// DPResult summarizes a data-parallel run.
+type DPResult struct {
+	Curve    []CurvePoint
+	FinalPPL float64
+	AvgBits  float64 // average wire bits per value across bucketed gradients
+}
+
+// RunDataParallel trains with cfg.Replicas simulated workers: each computes
+// gradients on its own batch, compresses its bucket, and the mean of the
+// compressed gradients drives the (shared) optimizer — synchronous data
+// parallelism with lossy all-reduce. onStep (optional) fires after every
+// optimizer step, which is where warm-up-based baselines advance state.
+func RunDataParallel(m *nn.Transformer, corpus *data.Corpus, opt nn.Optimizer,
+	cfg DPConfig, steps int, seed int64, onStep func(step int)) (*DPResult, error) {
+
+	rng := rand.New(rand.NewSource(seed))
+	res := &DPResult{}
+	params := m.Params()
+	var bitsSum, valsSum float64
+	lossEMA := 0.0
+
+	// Identify bucketed parameters and the bucket layout.
+	var bucketed []*nn.Param
+	total := 0
+	for _, p := range params {
+		if isMatrixGrad(p) {
+			bucketed = append(bucketed, p)
+			total += len(p.G.V)
+		}
+	}
+	bucketRows := (total + bucketCols - 1) / bucketCols
+
+	sum := make([]*nn.Mat, len(params))
+	for i, p := range params {
+		sum[i] = nn.NewMat(p.G.R, p.G.C)
+	}
+
+	for step := 0; step < steps; step++ {
+		for i := range sum {
+			sum[i].Zero()
+		}
+		var stepLoss float64
+		for r := 0; r < cfg.Replicas; r++ {
+			tokens, targets := corpus.Batch(rng, cfg.Batch, m.Cfg.SeqLen)
+			m.ZeroGrads()
+			stepLoss += m.TrainStep(tokens, targets) / float64(cfg.Replicas)
+
+			if cfg.Compress != nil {
+				bucket := nn.NewMat(bucketRows, bucketCols)
+				off := 0
+				for _, p := range bucketed {
+					copy(bucket.V[off:], p.G.V)
+					off += len(p.G.V)
+				}
+				cb, bits, err := cfg.Compress(r, bucket)
+				if err != nil {
+					return nil, err
+				}
+				off = 0
+				for _, p := range bucketed {
+					copy(p.G.V, cb.V[off:off+len(p.G.V)])
+					off += len(p.G.V)
+				}
+				bitsSum += bits * float64(total)
+				valsSum += float64(total)
+			} else {
+				bitsSum += 16 * float64(total)
+				valsSum += float64(total)
+			}
+			for i, p := range params {
+				nn.AddInPlace(sum[i], p.G)
+			}
+		}
+		for i, p := range params {
+			copy(p.G.V, sum[i].V)
+			nn.ScaleInPlace(p.G, 1/float32(cfg.Replicas))
+		}
+		opt.Step(params)
+		if onStep != nil {
+			onStep(step)
+		}
+
+		if lossEMA == 0 {
+			lossEMA = stepLoss
+		}
+		lossEMA = 0.9*lossEMA + 0.1*stepLoss
+		pt := CurvePoint{Step: step, Loss: lossEMA}
+		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
+			toks, tgts := corpus.ValidBatches(cfg.EvalBatches, 4, m.Cfg.SeqLen)
+			pt.PPL = m.Perplexity(toks, tgts)
+		}
+		res.Curve = append(res.Curve, pt)
+	}
+	toks, tgts := corpus.ValidBatches(maxInt(cfg.EvalBatches, 4), 4, m.Cfg.SeqLen)
+	res.FinalPPL = m.Perplexity(toks, tgts)
+	if valsSum > 0 {
+		res.AvgBits = bitsSum / valsSum
+	}
+	return res, nil
+}
+
+// isMatrixGrad reports whether a parameter's gradient joins the compression
+// bucket (≥8×8, 2-D).
+func isMatrixGrad(p *nn.Param) bool {
+	return p.G.R >= 8 && p.G.C >= 8
+}
