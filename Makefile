@@ -1,0 +1,36 @@
+# Build/verify entry points for the llm265 reproduction.
+#
+# `make ci` is the canonical verify step: it builds everything, vets, runs
+# the test suite, and repeats the suite under the race detector — mandatory
+# since the encode/decode engine fans plane chunks out across a goroutine
+# worker pool (internal/codec/engine.go).
+
+GO ?= go
+
+.PHONY: all build test vet race ci bench bench-parallel
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the full tree; catches any data race in the
+# parallel engine's worker pools.
+race:
+	$(GO) test -race ./...
+
+ci: build vet test race
+
+# One pass over every paper-artifact benchmark.
+bench:
+	$(GO) test -bench=. -benchtime=1x
+
+# Serial vs parallel engine throughput on a multi-layer stack.
+bench-parallel:
+	$(GO) test -bench='(Encode|Decode)Stack(Serial|Parallel)' -benchtime=3x .

@@ -106,6 +106,78 @@ func BenchmarkDecodeThroughput(b *testing.B) {
 	}
 }
 
+// stackPlanes builds a multi-layer weight stack as codec planes — the
+// workload the parallel engine fans out across its worker pool.
+func stackPlanes(seed int64, layers, n int) []*frame.Plane {
+	rng := rand.New(rand.NewSource(seed))
+	var planes []*frame.Plane
+	for l := 0; l < layers; l++ {
+		pix, _, _ := quant.ToUint8(tensorgen.Weights(rng, n, n))
+		planes = append(planes, frame.FromMatrix(pix, n, n, 1024, 1024)...)
+	}
+	return planes
+}
+
+// Parallel-vs-serial engine benchmarks on a multi-layer stack. The chunked
+// container is byte-identical for every worker count, so these measure pure
+// scheduling gains; compare MB/s:
+//
+//	go test -bench='EncodeStack(Serial|Parallel)' -benchtime=2x
+func benchEncodeStack(b *testing.B, workers int) {
+	planes := stackPlanes(5, 8, 256)
+	b.SetBytes(int64(8 * 256 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := codec.EncodeParallel(planes, 26, codec.HEVC, codec.AllTools, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeStackSerial(b *testing.B)   { benchEncodeStack(b, 1) }
+func BenchmarkEncodeStackParallel(b *testing.B) { benchEncodeStack(b, 0) }
+
+func benchDecodeStack(b *testing.B, workers int) {
+	planes := stackPlanes(6, 8, 256)
+	stream, _, err := codec.EncodeParallel(planes, 26, codec.HEVC, codec.AllTools, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * 256 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.DecodeWorkers(stream, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeStackSerial(b *testing.B)   { benchDecodeStack(b, 1) }
+func BenchmarkDecodeStackParallel(b *testing.B) { benchDecodeStack(b, 0) }
+
+// BenchmarkStackRoundTripParallel measures the full core path (8-bit map,
+// parallel encode, parallel decode, dequantize) on a layer stack.
+func BenchmarkStackRoundTripParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	layers, n := 6, 192
+	stack := make([]*core.Tensor, layers)
+	for l := range stack {
+		stack[l] = core.FromSlice(n, n, tensorgen.Weights(rng, n, n))
+	}
+	o := core.DefaultOptions() // Workers: 0 → GOMAXPROCS
+	b.SetBytes(int64(layers * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := o.EncodeStack(stack, 26)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := o.DecodeStack(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTensorRoundTrip measures the full float path: 8-bit mapping,
 // encode, decode, dequantize.
 func BenchmarkTensorRoundTrip(b *testing.B) {

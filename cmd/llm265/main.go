@@ -69,6 +69,7 @@ func encodeCmd(args []string) {
 		qp      = fs.Int("qp", -1, "alternative: fixed quantization parameter 0..51")
 		profile = fs.String("profile", "h265", "codec profile: h264|h265|av1")
 		perRow  = fs.Bool("perrow", false, "per-row 8-bit mapping (outlier-heavy tensors)")
+		workers = fs.Int("workers", 0, "encode worker pool size (0 = GOMAXPROCS); output bytes are identical for any value")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" || *rows <= 0 || *cols <= 0 {
@@ -90,6 +91,7 @@ func encodeCmd(args []string) {
 	opts := core.DefaultOptions()
 	opts.Profile = profileByName(*profile)
 	opts.PerRowQuant = *perRow
+	opts.Workers = *workers
 
 	var enc *core.Encoded
 	switch {
@@ -108,15 +110,16 @@ func encodeCmd(args []string) {
 	if err := os.WriteFile(*out, enc.Marshal(), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("encoded %dx%d at %.3f bits/value (QP %d) -> %s (%.1fx vs FP16)\n",
-		*rows, *cols, enc.BitsPerValue(), enc.QP, *out, 16/enc.BitsPerValue())
+	fmt.Printf("encoded %dx%d at %.3f bits/value (QP %d, pixel MSE %.3f, %d chunk(s)) -> %s (%.1fx vs FP16)\n",
+		*rows, *cols, enc.BitsPerValue(), enc.QP, enc.Stats.MSE, enc.Stats.Chunks, *out, 16/enc.BitsPerValue())
 }
 
 func decodeCmd(args []string) {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	var (
-		in  = fs.String("in", "", "input .l265 container")
-		out = fs.String("out", "", "output float32 file")
+		in      = fs.String("in", "", "input .l265 container")
+		out     = fs.String("out", "", "output float32 file")
+		workers = fs.Int("workers", 0, "decode worker pool size (0 = GOMAXPROCS)")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -130,7 +133,9 @@ func decodeCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	t, err := core.DefaultOptions().Decode(enc)
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	t, err := opts.Decode(enc)
 	if err != nil {
 		fatal(err)
 	}

@@ -31,9 +31,91 @@ type decoder struct {
 	prevMode intra.Mode
 }
 
-// Decode parses a bitstream produced by Encode and returns the reconstructed
-// planes (cropped to their original sizes).
-func Decode(data []byte) (planes []*frame.Plane, err error) {
+// Decode parses a bitstream produced by Encode or EncodeParallel and returns
+// the reconstructed planes (cropped to their original sizes). Chunked
+// (version-2) containers are decoded with a default-sized worker pool; use
+// DecodeWorkers to control the pool.
+func Decode(data []byte) ([]*frame.Plane, error) {
+	return DecodeWorkers(data, 0)
+}
+
+// DecodeWorkers is Decode with an explicit worker-pool size for chunked
+// containers; workers <= 0 selects runtime.GOMAXPROCS(0). Version-1 streams
+// are a single substream and always decode serially.
+func DecodeWorkers(data []byte, workers int) ([]*frame.Plane, error) {
+	if len(data) < 12 {
+		return nil, errMalformed
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return nil, fmt.Errorf("codec: bad magic")
+		}
+	}
+	switch data[4] {
+	case 1:
+		return decodeV1(data)
+	case versionChunked:
+		return decodeChunked(data, workers)
+	default:
+		return nil, fmt.Errorf("codec: unsupported version %d", data[4])
+	}
+}
+
+// parseCommonHeader reads the header fields shared by both container
+// versions (profile, tools, qp, frame count and dims), returning the offset
+// of the first version-specific byte.
+func parseCommonHeader(data []byte) (prof Profile, tools Tools, qp int, dims [][2]int, off int, err error) {
+	prof, ok := profileByID[data[5]]
+	if !ok {
+		return prof, tools, 0, nil, 0, fmt.Errorf("codec: unknown profile id %d", data[5])
+	}
+	tools = toolsFromBits(data[6])
+	qp = int(data[7])
+	if qp > dct.MaxQP {
+		return prof, tools, 0, nil, 0, errMalformed
+	}
+	off = 8
+	if len(data) < off+4 {
+		return prof, tools, 0, nil, 0, errMalformed
+	}
+	nFrames := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if nFrames <= 0 || nFrames > 1<<20 || len(data) < off+8*nFrames+4 {
+		return prof, tools, 0, nil, 0, errMalformed
+	}
+	dims = make([][2]int, nFrames)
+	for i := range dims {
+		dims[i][0] = int(binary.BigEndian.Uint32(data[off:]))
+		dims[i][1] = int(binary.BigEndian.Uint32(data[off+4:]))
+		off += 8
+		if dims[i][0] <= 0 || dims[i][1] <= 0 {
+			return prof, tools, 0, nil, 0, errMalformed
+		}
+	}
+	return prof, tools, qp, dims, off, nil
+}
+
+// decodeV1 parses the legacy single-substream container.
+func decodeV1(data []byte) ([]*frame.Plane, error) {
+	prof, tools, qp, dims, off, err := parseCommonHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < off+4 {
+		return nil, errMalformed
+	}
+	payLen := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if payLen < 0 || off+payLen > len(data) {
+		return nil, errMalformed
+	}
+	return decodeChunkPayload(data[off:off+payLen], dims, prof, tools, qp)
+}
+
+// decodeChunkPayload decodes one independent substream covering the given
+// frame dims. All decoder state is local to the call, so distinct chunks may
+// be decoded concurrently.
+func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools, qp int) (planes []*frame.Plane, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if de, ok := r.(decodeError); ok {
@@ -43,51 +125,6 @@ func Decode(data []byte) (planes []*frame.Plane, err error) {
 			panic(r)
 		}
 	}()
-
-	if len(data) < 12 {
-		return nil, errMalformed
-	}
-	for i := range magic {
-		if data[i] != magic[i] {
-			return nil, fmt.Errorf("codec: bad magic")
-		}
-	}
-	if data[4] != 1 {
-		return nil, fmt.Errorf("codec: unsupported version %d", data[4])
-	}
-	prof, ok := profileByID[data[5]]
-	if !ok {
-		return nil, fmt.Errorf("codec: unknown profile id %d", data[5])
-	}
-	tools := toolsFromBits(data[6])
-	qp := int(data[7])
-	if qp > dct.MaxQP {
-		return nil, errMalformed
-	}
-	off := 8
-	if len(data) < off+4 {
-		return nil, errMalformed
-	}
-	nFrames := int(binary.BigEndian.Uint32(data[off:]))
-	off += 4
-	if nFrames <= 0 || nFrames > 1<<20 || len(data) < off+8*nFrames+4 {
-		return nil, errMalformed
-	}
-	dims := make([][2]int, nFrames)
-	for i := range dims {
-		dims[i][0] = int(binary.BigEndian.Uint32(data[off:]))
-		dims[i][1] = int(binary.BigEndian.Uint32(data[off+4:]))
-		off += 8
-		if dims[i][0] <= 0 || dims[i][1] <= 0 {
-			return nil, errMalformed
-		}
-	}
-	payLen := int(binary.BigEndian.Uint32(data[off:]))
-	off += 4
-	if payLen < 0 || off+payLen > len(data) {
-		return nil, errMalformed
-	}
-	payload := data[off : off+payLen]
 
 	d := &decoder{
 		prof:       prof,
@@ -108,8 +145,8 @@ func Decode(data []byte) (planes []*frame.Plane, err error) {
 		d.br = rawBinDec{bits.NewReader(payload)}
 	}
 
-	planes = make([]*frame.Plane, nFrames)
-	for i := 0; i < nFrames; i++ {
+	planes = make([]*frame.Plane, len(dims))
+	for i := range dims {
 		d.fIdx = i
 		planes[i] = d.decodeFrame(dims[i][0], dims[i][1])
 	}

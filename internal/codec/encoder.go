@@ -26,6 +26,7 @@ type Stats struct {
 	Pixels       int     // number of source pixels across all frames
 	MSE          float64 // mean squared error in 8-bit pixel units
 	BitsPerPixel float64 // Bits / Pixels
+	Chunks       int     // independently decodable substreams in the container
 }
 
 // Encoder carries the per-sequence encoding state. Create one per Encode
@@ -53,20 +54,60 @@ type encoder struct {
 }
 
 // Encode compresses planes at the given QP with the selected profile and
-// tools, returning the bitstream and encode statistics.
+// tools, returning the bitstream and encode statistics. The planes are coded
+// as one sequence (a single substream with shared entropy contexts) in the
+// version-1 container; see EncodeParallel for the chunked multi-substream
+// engine.
 func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, Stats, error) {
+	if err := validateEncode(planes, qp, prof); err != nil {
+		return nil, Stats{}, err
+	}
+	var head bytes.Buffer
+	head.Write(magic[:])
+	head.WriteByte(1) // version
+	head.WriteByte(prof.id())
+	head.WriteByte(tools.bits())
+	head.WriteByte(uint8(qp))
+	if err := binary.Write(&head, binary.BigEndian, uint32(len(planes))); err != nil {
+		return nil, Stats{}, err
+	}
+	for _, p := range planes {
+		binary.Write(&head, binary.BigEndian, uint32(p.W))
+		binary.Write(&head, binary.BigEndian, uint32(p.H))
+	}
+
+	payload, recs := encodeChunk(planes, qp, prof, tools)
+	binary.Write(&head, binary.BigEndian, uint32(len(payload)))
+	out := append(head.Bytes(), payload...)
+
+	st := computeStats(planes, recs, len(out)*8)
+	st.Chunks = 1
+	return out, st, nil
+}
+
+// validateEncode checks the shared preconditions of Encode and EncodeParallel.
+func validateEncode(planes []*frame.Plane, qp int, prof Profile) error {
 	if len(planes) == 0 {
-		return nil, Stats{}, errors.New("codec: no frames")
+		return errors.New("codec: no frames")
 	}
 	if qp < 0 || qp > dct.MaxQP {
-		return nil, Stats{}, fmt.Errorf("codec: qp %d out of range", qp)
+		return fmt.Errorf("codec: qp %d out of range", qp)
 	}
 	for _, p := range planes {
 		if p.W > prof.MaxFrameDim || p.H > prof.MaxFrameDim {
-			return nil, Stats{}, fmt.Errorf("codec: frame %dx%d exceeds %s limit %d",
+			return fmt.Errorf("codec: frame %dx%d exceeds %s limit %d",
 				p.W, p.H, prof.Name, prof.MaxFrameDim)
 		}
 	}
+	return nil
+}
+
+// encodeChunk codes a group of planes as one independent sequence — fresh
+// entropy contexts, fresh mode predictor, inter prediction (if enabled)
+// confined to the group — and returns the raw entropy payload plus the
+// per-plane reconstructions (cropped to source dims). Each call owns all of
+// its encoder state, so distinct chunks may be encoded concurrently.
+func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, []*frame.Plane) {
 	e := &encoder{
 		prof:       prof,
 		tools:      tools,
@@ -86,35 +127,23 @@ func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, S
 	} else {
 		e.bw = rawBinEnc{bits.NewWriter()}
 	}
-
-	var head bytes.Buffer
-	head.Write(magic[:])
-	head.WriteByte(1) // version
-	head.WriteByte(prof.id())
-	head.WriteByte(tools.bits())
-	head.WriteByte(uint8(qp))
-	if err := binary.Write(&head, binary.BigEndian, uint32(len(planes))); err != nil {
-		return nil, Stats{}, err
-	}
-	for _, p := range planes {
-		binary.Write(&head, binary.BigEndian, uint32(p.W))
-		binary.Write(&head, binary.BigEndian, uint32(p.H))
-	}
-
-	var st Stats
 	recs := make([]*frame.Plane, len(planes))
 	for i, p := range planes {
 		e.fIdx = i
 		e.encodeFrame(p)
 		recs[i] = e.recon
-		st.Pixels += p.W * p.H
 	}
-	payload := e.bw.finish()
-	binary.Write(&head, binary.BigEndian, uint32(len(payload)))
-	out := append(head.Bytes(), payload...)
+	return e.bw.finish(), recs
+}
 
+// computeStats aggregates size and distortion over the source planes and
+// their reconstructions.
+func computeStats(planes, recs []*frame.Plane, bits int) Stats {
+	var st Stats
+	st.Bits = bits
 	var sse float64
 	for i, p := range planes {
+		st.Pixels += p.W * p.H
 		r := recs[i]
 		for y := 0; y < p.H; y++ {
 			for x := 0; x < p.W; x++ {
@@ -123,10 +152,9 @@ func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, S
 			}
 		}
 	}
-	st.Bits = len(out) * 8
 	st.MSE = sse / float64(st.Pixels)
 	st.BitsPerPixel = float64(st.Bits) / float64(st.Pixels)
-	return out, st, nil
+	return st
 }
 
 // padTo returns v rounded up to a multiple of m.

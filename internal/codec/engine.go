@@ -1,0 +1,274 @@
+// Parallel multi-plane encode/decode engine.
+//
+// The codec is intra-only in its shipping configuration (§3.2), so every
+// plane of a tensor stack is an independent slice: it shares no prediction
+// state, no entropy contexts and no reconstruction with its neighbours. The
+// engine exploits that by fanning plane groups ("chunks") out over a worker
+// pool — mirroring the multiple NVENC/NVDEC engines that give the hardware
+// its ~1100/1300 MB/s throughput — and stitching the per-chunk substreams
+// into a length-prefixed chunked container (bitstream version 2).
+//
+// Determinism: the chunk partition is a pure function of the plane list and
+// the tool set, every chunk is encoded by a self-contained encoder, and the
+// substreams are stitched in chunk order. Output bytes therefore do not
+// depend on the worker count or on goroutine scheduling:
+// EncodeParallel(planes, …, 1) == EncodeParallel(planes, …, N) bit for bit.
+//
+// Version-2 container layout (all integers big-endian):
+//
+//	"L265" | version=2 | profile | tools | qp        (8 bytes, as v1)
+//	uint32 nPlanes | nPlanes × (uint32 w, uint32 h)  (as v1)
+//	uint32 nChunks
+//	nChunks × (uint32 planeCount, uint32 payloadLen)
+//	payloads, concatenated in chunk order
+//
+// Each payload is a self-delimiting substream identical in format to a
+// version-1 payload: fresh entropy contexts, fresh mode predictor, frame
+// indices local to the chunk.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"sync"
+
+	"repro/internal/frame"
+)
+
+// versionChunked is the bitstream version of the chunked multi-substream
+// container produced by EncodeParallel.
+const versionChunked = 2
+
+// normalizeWorkers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0).
+func normalizeWorkers(w int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// minChunkPixels is the chunk granularity floor: consecutive planes are
+// grouped into one chunk until it holds at least this many source pixels.
+// Per-chunk cost is real — a fresh CABAC context set must re-adapt, and the
+// chunk table spends 8 bytes per entry — so tiny planes are batched to keep
+// the chunked container's rate within noise of the serial single-substream
+// one, while large planes (192×192 and up) still get a chunk (and therefore
+// a worker) each.
+const minChunkPixels = 1 << 15
+
+// chunkSpans partitions planes into contiguous [start, end) chunks that are
+// independently codable. Intra-only tool sets are split greedily: a chunk
+// closes once it has accumulated minChunkPixels source pixels, so big planes
+// parallelize one-per-worker and small planes batch together. When inter
+// prediction is enabled, frames reference their predecessors, so all planes
+// must stay in a single chunk. The partition depends only on the plane
+// geometry and the tool set — never on the worker count — which is what
+// makes the container bytes deterministic.
+func chunkSpans(planes []*frame.Plane, tools Tools) [][2]int {
+	n := len(planes)
+	if tools.InterPred {
+		return [][2]int{{0, n}}
+	}
+	var spans [][2]int
+	start, acc := 0, 0
+	for i, p := range planes {
+		acc += p.W * p.H
+		if acc >= minChunkPixels {
+			spans = append(spans, [2]int{start, i + 1})
+			start, acc = i+1, 0
+		}
+	}
+	if start < n {
+		spans = append(spans, [2]int{start, n})
+	}
+	return spans
+}
+
+// EncodeParallel compresses planes at the given QP like Encode, but encodes
+// independent plane chunks concurrently on a pool of `workers` goroutines
+// (workers <= 0 selects runtime.GOMAXPROCS(0)) and emits the chunked
+// version-2 container; when the partition collapses to a single chunk (small
+// workloads, or inter prediction serializing the frames) it emits the
+// version-1 container byte-identically to Encode. Each worker owns its full
+// encoder state (entropy contexts, transforms, reconstruction buffers), and
+// substreams are stitched in chunk order, so the output is byte-identical
+// for every worker count.
+func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int) ([]byte, Stats, error) {
+	if err := validateEncode(planes, qp, prof); err != nil {
+		return nil, Stats{}, err
+	}
+	spans := chunkSpans(planes, tools)
+	if len(spans) == 1 {
+		// A single chunk has no parallelism to exploit; emit the version-1
+		// container, which is byte-identical to the serial Encode path (one
+		// shared-context substream, 4-byte length prefix instead of a chunk
+		// table). This keeps small workloads bit-compatible with historical
+		// streams and free of chunking overhead.
+		return Encode(planes, qp, prof, tools)
+	}
+	workers = normalizeWorkers(workers)
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+
+	payloads := make([][]byte, len(spans))
+	recs := make([][]*frame.Plane, len(spans))
+	if workers == 1 {
+		for i, s := range spans {
+			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					s := spans[i]
+					payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
+				}
+			}()
+		}
+		for i := range spans {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	var head bytes.Buffer
+	head.Write(magic[:])
+	head.WriteByte(versionChunked)
+	head.WriteByte(prof.id())
+	head.WriteByte(tools.bits())
+	head.WriteByte(uint8(qp))
+	binary.Write(&head, binary.BigEndian, uint32(len(planes)))
+	for _, p := range planes {
+		binary.Write(&head, binary.BigEndian, uint32(p.W))
+		binary.Write(&head, binary.BigEndian, uint32(p.H))
+	}
+	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
+	total := head.Len()
+	for i, s := range spans {
+		binary.Write(&head, binary.BigEndian, uint32(s[1]-s[0]))
+		binary.Write(&head, binary.BigEndian, uint32(len(payloads[i])))
+		total += 8 + len(payloads[i])
+	}
+	out := make([]byte, 0, total)
+	out = append(out, head.Bytes()...)
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+
+	allRecs := make([]*frame.Plane, 0, len(planes))
+	for _, r := range recs {
+		allRecs = append(allRecs, r...)
+	}
+	st := computeStats(planes, allRecs, len(out)*8)
+	st.Chunks = len(spans)
+	return out, st, nil
+}
+
+// decodeChunked parses the version-2 container and decodes its substreams
+// concurrently on a pool of `workers` goroutines.
+func decodeChunked(data []byte, workers int) ([]*frame.Plane, error) {
+	prof, tools, qp, dims, off, err := parseCommonHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < off+4 {
+		return nil, errMalformed
+	}
+	nChunks := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if nChunks <= 0 || nChunks > len(dims) {
+		return nil, errMalformed
+	}
+	if len(data) < off+8*nChunks {
+		return nil, errMalformed
+	}
+	type chunk struct {
+		payload   []byte
+		dims      [][2]int
+		planeBase int
+	}
+	counts := make([]int, nChunks)
+	sizes := make([]int, nChunks)
+	totalPlanes := 0
+	for i := 0; i < nChunks; i++ {
+		counts[i] = int(binary.BigEndian.Uint32(data[off:]))
+		sizes[i] = int(binary.BigEndian.Uint32(data[off+4:]))
+		off += 8
+		if counts[i] <= 0 || sizes[i] < 0 {
+			return nil, errMalformed
+		}
+		totalPlanes += counts[i]
+	}
+	if totalPlanes != len(dims) {
+		return nil, errMalformed
+	}
+	chunks := make([]chunk, nChunks)
+	base := 0
+	for i := 0; i < nChunks; i++ {
+		if off+sizes[i] > len(data) {
+			return nil, errMalformed
+		}
+		chunks[i] = chunk{
+			payload:   data[off : off+sizes[i]],
+			dims:      dims[base : base+counts[i]],
+			planeBase: base,
+		}
+		off += sizes[i]
+		base += counts[i]
+	}
+
+	planes := make([]*frame.Plane, len(dims))
+	errs := make([]error, nChunks)
+	decodeOne := func(i int) {
+		ps, err := decodeChunkPayload(chunks[i].payload, chunks[i].dims, prof, tools, qp)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		copy(planes[chunks[i].planeBase:], ps)
+	}
+
+	workers = normalizeWorkers(workers)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers == 1 {
+		for i := range chunks {
+			decodeOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					decodeOne(i)
+				}
+			}()
+		}
+		for i := range chunks {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return planes, nil
+}

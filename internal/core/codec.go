@@ -25,6 +25,13 @@ type Options struct {
 	// structure intra prediction exploits; per-row trades that for finer
 	// quantization and suits outlier-heavy activations.
 	PerRowQuant bool
+	// Workers sizes the parallel engine's worker pool for both encode and
+	// decode: each plane of a stack is an independent intra-only slice, so
+	// planes are encoded concurrently (mirroring the multiple NVENC/NVDEC
+	// engines). 0 (the default) selects runtime.GOMAXPROCS(0); 1 forces
+	// serial operation. Output bytes are identical for every worker count —
+	// the chunked container is stitched in plane order.
+	Workers int
 }
 
 // DefaultOptions returns the paper's shipping configuration: H.265 profile
@@ -67,6 +74,11 @@ type Encoded struct {
 	QP                   int
 	Stream               []byte
 	Scales, Zeros        []float32 // per layer, or per layer×row when PerRow
+	// Stats carries the codec's per-encode statistics (pixel-domain MSE,
+	// bits per pixel, chunk count) so callers can measure distortion
+	// without a decode pass. In-memory only: Marshal does not serialize it,
+	// so it is zero on containers read back via UnmarshalEncoded.
+	Stats codec.Stats
 }
 
 // SizeBits reports the total compressed size in bits, metadata included.
@@ -117,11 +129,12 @@ func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
 		}
 		planes = append(planes, frame.FromMatrix(pix, rows, cols, o.MaxFrameW, o.MaxFrameH)...)
 	}
-	stream, _, err := codec.Encode(planes, qp, o.Profile, o.Tools)
+	stream, st, err := codec.EncodeParallel(planes, qp, o.Profile, o.Tools, o.Workers)
 	if err != nil {
 		return nil, err
 	}
 	enc.Stream = stream
+	enc.Stats = st
 	return enc, nil
 }
 
@@ -130,10 +143,11 @@ func (o Options) Encode(t *Tensor, qp int) (*Encoded, error) {
 	return o.EncodeStack([]*Tensor{t}, qp)
 }
 
-// DecodeStack reconstructs the tensor stack from an Encoded.
+// DecodeStack reconstructs the tensor stack from an Encoded, decoding
+// independent bitstream chunks concurrently per o.Workers.
 func (o Options) DecodeStack(e *Encoded) ([]*Tensor, error) {
 	o = o.normalized()
-	planes, err := codec.Decode(e.Stream)
+	planes, err := codec.DecodeWorkers(e.Stream, o.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -65,8 +65,12 @@ func (p *Plane) MSE(q *Plane) float64 {
 // planes, each at most maxW×maxH, mirroring how LLM.265 chunks tensors to
 // respect NVENC frame-size limits. Rows are kept contiguous: the matrix is
 // split into horizontal bands of maxH rows; bands wider than maxW are split
-// into column slabs. The final plane in each direction is padded by edge
-// replication so block statistics stay representative.
+// into column slabs. Planes are emitted at their natural (unpadded) sizes —
+// the ragged final band/slab is NOT padded here. CTU alignment is the
+// encoder's job: codec.Encode edge-replicates each frame up to the CTU
+// multiple internally (so block statistics stay representative) and crops
+// the reconstruction back, which keeps ToMatrix a pure inverse of this
+// function.
 func FromMatrix(data []uint8, rows, cols, maxW, maxH int) []*Plane {
 	if len(data) != rows*cols {
 		panic("frame: FromMatrix size mismatch")

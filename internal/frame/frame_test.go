@@ -89,3 +89,37 @@ func TestFromToMatrixProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFromMatrixEmitsUnpaddedPlanes pins the documented chunking contract:
+// FromMatrix does NOT pad ragged final bands/slabs — planes carry their
+// natural sizes, and CTU alignment is the encoder's internal job (it
+// edge-replicates up to the CTU multiple and crops the reconstruction
+// back). This keeps ToMatrix a pure inverse.
+func TestFromMatrixEmitsUnpaddedPlanes(t *testing.T) {
+	// 33×65 with 32×32 limits: 2 bands (32, 1 rows) × 3 slabs (32, 32, 1 cols).
+	data := make([]uint8, 33*65)
+	for i := range data {
+		data[i] = uint8(i)
+	}
+	planes := FromMatrix(data, 33, 65, 32, 32)
+	wantDims := [][2]int{ // {W, H} in band-major order
+		{32, 32}, {32, 32}, {1, 32},
+		{32, 1}, {32, 1}, {1, 1},
+	}
+	if len(planes) != len(wantDims) {
+		t.Fatalf("got %d planes, want %d", len(planes), len(wantDims))
+	}
+	for i, p := range planes {
+		if p.W != wantDims[i][0] || p.H != wantDims[i][1] {
+			t.Fatalf("plane %d: %dx%d, want %dx%d (ragged edges must stay unpadded)",
+				i, p.W, p.H, wantDims[i][0], wantDims[i][1])
+		}
+	}
+	// And the inverse remains exact.
+	back := ToMatrix(planes, 33, 65, 32, 32)
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("ToMatrix not inverse at %d", i)
+		}
+	}
+}

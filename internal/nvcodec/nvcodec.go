@@ -1,14 +1,21 @@
 // Package nvcodec models the GPU hardware video engines (NVENC/NVDEC) that
 // LLM.265 runs on: their codec support matrix by GPU generation (Table 2),
-// frame-size limits, 8-bit-input constraint, and measured tensor
-// throughput (§6.1: ≈1100 MB/s encode, ≈1300 MB/s decode). The actual
-// compression runs through the pure-Go codec; this package adds the
-// device-level constraints and timing model, substituting for the real
+// frame-size limits, 8-bit-input constraint, engine counts, and measured
+// tensor throughput (§6.1: ≈1100 MB/s encode, ≈1300 MB/s decode per engine).
+// The actual compression runs through the pure-Go codec; this package adds
+// the device-level constraints and timing model, substituting for the real
 // hardware (DESIGN.md §2).
+//
+// Frames/tiles on real silicon are processed by parallel hardware engines —
+// recent generations ship multiple NVENC/NVDEC instances — so Device.Encode
+// and Device.Decode fan independent planes out across the modeled engine
+// count (via the codec's parallel engine) and report the schedule makespan
+// as the wall time, not the serial sum.
 package nvcodec
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/codec"
@@ -26,12 +33,19 @@ type Support struct {
 type Generation struct {
 	Name    string
 	Codecs  map[string]Support
-	EncMBps float64 // measured tensor encode throughput
-	DecMBps float64
+	EncMBps float64 // measured tensor encode throughput, per engine
+	DecMBps float64 // measured tensor decode throughput, per engine
+	// EncEngines/DecEngines count the independent hardware engine
+	// instances; independent frames are dispatched across them in
+	// parallel. Values <= 0 mean 1.
+	EncEngines int
+	DecEngines int
 }
 
 // Generations reproduces the paper's Table 2 plus the §6.1 throughput
-// measurements.
+// measurements. Engine counts follow the shipping silicon: Ada Lovelace
+// carries dual NVENC instances; the older generations expose one engine of
+// each kind to the model.
 func Generations() []Generation {
 	base := func(name string, av1 bool) Generation {
 		g := Generation{
@@ -41,19 +55,37 @@ func Generations() []Generation {
 				"H.265": {MaxDim: 8192, Encode: true, Decode: true},
 				"VP9":   {MaxDim: 8192, Encode: false, Decode: true},
 			},
-			EncMBps: 1100,
-			DecMBps: 1300,
+			EncMBps:    1100,
+			DecMBps:    1300,
+			EncEngines: 1,
+			DecEngines: 1,
 		}
 		if av1 {
 			g.Codecs["AV1"] = Support{MaxDim: 8192, Encode: true, Decode: true}
 		}
 		return g
 	}
+	ada := base("Ada Lovelace", true)
+	ada.EncEngines, ada.DecEngines = 2, 2
 	return []Generation{
-		base("Ada Lovelace", true),
+		ada,
 		base("Ampere", false),
 		base("Volta", false),
 	}
+}
+
+func (g Generation) encEngines() int {
+	if g.EncEngines <= 0 {
+		return 1
+	}
+	return g.EncEngines
+}
+
+func (g Generation) decEngines() int {
+	if g.DecEngines <= 0 {
+		return 1
+	}
+	return g.DecEngines
 }
 
 // Device is a simulated hardware video engine bound to one GPU generation
@@ -94,8 +126,11 @@ func Open(gen Generation, profileName string) (*Device, error) {
 
 // Encode runs the hardware-constrained encode: frames must respect the
 // engine's size limit and are 8-bit only (enforced by the plane type).
-// It returns the bitstream, encoder stats, and the modeled wall time the
-// hardware engine would take at its measured throughput.
+// Independent planes are dispatched across the generation's encode engines
+// (the codec's parallel worker pool stands in for the hardware instances).
+// It returns the bitstream, encoder stats, and the modeled wall time: the
+// makespan of greedily scheduling the frames across the engines at the
+// measured per-engine throughput.
 func (d *Device) Encode(planes []*frame.Plane, qp int, tools codec.Tools) ([]byte, codec.Stats, time.Duration, error) {
 	for _, p := range planes {
 		if p.W > d.sup.MaxDim || p.H > d.sup.MaxDim {
@@ -103,51 +138,103 @@ func (d *Device) Encode(planes []*frame.Plane, qp int, tools codec.Tools) ([]byt
 				p.W, p.H, d.Gen.Name, d.Profile.Name, d.sup.MaxDim)
 		}
 	}
-	data, st, err := codec.Encode(planes, qp, d.Profile, tools)
+	data, st, err := codec.EncodeParallel(planes, qp, d.Profile, tools, d.Gen.encEngines())
 	if err != nil {
 		return nil, codec.Stats{}, 0, err
 	}
-	return data, st, d.EncodeLatency(st.Pixels), nil
+	return data, st, d.EncodeLatencyPlanes(planes), nil
 }
 
-// Decode mirrors Encode with the decode-side throughput model.
+// Decode mirrors Encode with the decode-side engine schedule.
 func (d *Device) Decode(data []byte) ([]*frame.Plane, time.Duration, error) {
-	planes, err := codec.Decode(data)
+	planes, err := codec.DecodeWorkers(data, d.Gen.decEngines())
 	if err != nil {
 		return nil, 0, err
 	}
-	pixels := 0
-	for _, p := range planes {
-		pixels += p.W * p.H
-	}
-	return planes, d.DecodeLatency(pixels), nil
+	return planes, d.DecodeLatencyPlanes(planes), nil
 }
 
-// EncodeLatency models the engine time to ingest the given number of 8-bit
-// samples at the measured NVENC throughput.
+// EncodeLatency models the single-engine time to ingest the given number of
+// 8-bit samples at the measured NVENC throughput.
 func (d *Device) EncodeLatency(samples int) time.Duration {
 	sec := float64(samples) / (d.Gen.EncMBps * 1e6)
 	return time.Duration(sec * float64(time.Second))
 }
 
-// DecodeLatency models the engine time to emit the given number of samples.
+// DecodeLatency models the single-engine time to emit the given number of
+// samples.
 func (d *Device) DecodeLatency(samples int) time.Duration {
 	sec := float64(samples) / (d.Gen.DecMBps * 1e6)
 	return time.Duration(sec * float64(time.Second))
 }
 
+// EncodeLatencyPlanes models the wall time to encode the planes across the
+// generation's encode engines: each plane is an indivisible job, jobs are
+// scheduled greedily (longest first) onto the least-loaded engine, and the
+// makespan is charged at the per-engine throughput. With one engine this
+// degenerates to EncodeLatency of the total sample count.
+func (d *Device) EncodeLatencyPlanes(planes []*frame.Plane) time.Duration {
+	return d.EncodeLatency(makespanSamples(planeSizes(planes), d.Gen.encEngines()))
+}
+
+// DecodeLatencyPlanes is EncodeLatencyPlanes for the decode engines.
+func (d *Device) DecodeLatencyPlanes(planes []*frame.Plane) time.Duration {
+	return d.DecodeLatency(makespanSamples(planeSizes(planes), d.Gen.decEngines()))
+}
+
+func planeSizes(planes []*frame.Plane) []int {
+	sizes := make([]int, len(planes))
+	for i, p := range planes {
+		sizes[i] = p.W * p.H
+	}
+	return sizes
+}
+
+// makespanSamples greedily schedules jobs (sample counts) onto engines,
+// longest processing time first, and returns the busiest engine's load —
+// the wall-clock sample count of the parallel schedule.
+func makespanSamples(jobs []int, engines int) int {
+	if engines <= 1 || len(jobs) <= 1 {
+		total := 0
+		for _, j := range jobs {
+			total += j
+		}
+		return total
+	}
+	sorted := append([]int(nil), jobs...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	loads := make([]int, engines)
+	for _, j := range sorted {
+		min := 0
+		for e := 1; e < engines; e++ {
+			if loads[e] < loads[min] {
+				min = e
+			}
+		}
+		loads[min] += j
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
 // EffectiveBandwidthMBps reports the end-to-end tensor bandwidth of a
-// compress-transfer-decompress path: the minimum of encode, wire and decode
-// rates, where the wire carries compressed bytes (§6.1: the engines cap the
-// GPU's end-to-end communication bandwidth at ≈1100 MB/s).
+// compress-transfer-decompress path: the minimum of aggregate encode, wire
+// and aggregate decode rates, where the wire carries compressed bytes
+// (§6.1: the engines cap the GPU's end-to-end communication bandwidth at
+// ≈1100 MB/s per encode engine).
 func (d *Device) EffectiveBandwidthMBps(wireMBps, compressionRatio float64) float64 {
 	wire := wireMBps * compressionRatio // payload rate the wire sustains
-	bw := d.Gen.EncMBps
+	bw := d.Gen.EncMBps * float64(d.Gen.encEngines())
+	if dec := d.Gen.DecMBps * float64(d.Gen.decEngines()); dec < bw {
+		bw = dec
+	}
 	if wire < bw {
 		bw = wire
-	}
-	if d.Gen.DecMBps < bw {
-		bw = d.Gen.DecMBps
 	}
 	return bw
 }

@@ -9,16 +9,35 @@ import (
 	"math"
 )
 
+// sanitize maps a possibly non-finite input value onto the finite float64
+// range: NaN becomes 0 (a NaN weight must not poison range statistics or
+// quantize to platform-dependent garbage — math.Round(NaN) fails every clamp
+// comparison and uint8(NaN) is unspecified in Go), and ±Inf clamps to the
+// largest finite float32 magnitude.
+func sanitize(v float32) float64 {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case math.IsInf(f, 1):
+		return math.MaxFloat32
+	case math.IsInf(f, -1):
+		return -math.MaxFloat32
+	}
+	return f
+}
+
 // RTNSymmetric quantizes data to the given bit width with the paper's
 // formula Q(w) = Δ·Round(w/Δ), Δ = max|w| / 2^(N−1), returning the
-// dequantized values.
+// dequantized values. Non-finite inputs are sanitized: NaN contributes 0,
+// ±Inf clamps to the finite float32 range.
 func RTNSymmetric(data []float32, bits int) []float32 {
 	if bits < 1 || bits > 16 {
 		panic(fmt.Sprintf("quant: bits %d out of range", bits))
 	}
 	var amax float64
 	for _, v := range data {
-		if a := math.Abs(float64(v)); a > amax {
+		if a := math.Abs(sanitize(v)); a > amax {
 			amax = a
 		}
 	}
@@ -30,7 +49,7 @@ func RTNSymmetric(data []float32, bits int) []float32 {
 	qmin := -float64(int64(1) << (bits - 1))
 	qmax := float64(int64(1)<<(bits-1)) - 1
 	for i, v := range data {
-		q := math.Round(float64(v) / delta)
+		q := math.Round(sanitize(v) / delta)
 		if q < qmin {
 			q = qmin
 		}
@@ -64,7 +83,7 @@ func rtnAsymmetricInto(dst, data []float32, bits int) {
 	}
 	scale := (float64(hi) - float64(lo)) / levels
 	for i, v := range data {
-		q := math.Round((float64(v) - float64(lo)) / scale)
+		q := math.Round((sanitize(v) - float64(lo)) / scale)
 		if q < 0 {
 			q = 0
 		}
@@ -98,23 +117,36 @@ func RTNGroupwise(data []float32, bits, groupSize int) ([]float32, float64) {
 	return out, bpv
 }
 
+// minMax scans for the finite value range: NaN entries contribute nothing
+// (they behave as 0 after sanitization) and ±Inf clamps to the float32
+// extremes, so the result is always finite. Empty or all-degenerate input
+// yields (0, 0).
 func minMax(data []float32) (lo, hi float32) {
-	lo, hi = float32(math.Inf(1)), float32(math.Inf(-1))
+	if len(data) == 0 {
+		return 0, 0
+	}
+	lo64, hi64 := math.Inf(1), math.Inf(-1)
 	for _, v := range data {
-		if v < lo {
-			lo = v
+		f := sanitize(v)
+		if f < lo64 {
+			lo64 = f
 		}
-		if v > hi {
-			hi = v
+		if f > hi64 {
+			hi64 = f
 		}
 	}
-	return lo, hi
+	return float32(lo64), float32(hi64)
 }
 
 // ToUint8 maps data onto [0, 255] with an affine min-max transform, returning
 // the pixels plus the scale and zero needed to invert: v ≈ zero + scale·pix.
 // This is the codec front-end conversion (§3.2: "FP16 values need to be
 // first rounded to 8 bits ... before feeding to HEVC codec").
+//
+// Degenerate inputs are deterministic on every platform: NaN values are
+// treated as 0 (mapped to the pixel nearest value 0 within the finite range)
+// and ±Inf clamps to the largest finite float32 magnitude, so one bad weight
+// can no longer corrupt a whole plane nondeterministically.
 func ToUint8(data []float32) (pix []uint8, scale, zero float32) {
 	lo, hi := minMax(data)
 	pix = make([]uint8, len(data))
@@ -124,7 +156,7 @@ func ToUint8(data []float32) (pix []uint8, scale, zero float32) {
 	s := (float64(hi) - float64(lo)) / 255
 	inv := 1 / s
 	for i, v := range data {
-		q := math.Round((float64(v) - float64(lo)) * inv)
+		q := math.Round((sanitize(v) - float64(lo)) * inv)
 		if q < 0 {
 			q = 0
 		}
@@ -136,13 +168,33 @@ func ToUint8(data []float32) (pix []uint8, scale, zero float32) {
 	return pix, float32(s), lo
 }
 
-// FromUint8 inverts ToUint8.
+// FromUint8 inverts ToUint8. The common case evaluates the affine map in
+// float32, bit-identical to the historical behaviour; only if that overflows
+// — extreme scales produced by ±Inf-laced inputs whose range clamps to
+// ±MaxFloat32 — is the element re-evaluated in float64 and clamped to the
+// finite float32 range, so the reconstruction can never contain ±Inf.
 func FromUint8(pix []uint8, scale, zero float32) []float32 {
 	out := make([]float32, len(pix))
+	s, z := float64(scale), float64(zero)
 	for i, p := range pix {
-		out[i] = zero + scale*float32(p)
+		v := zero + scale*float32(p)
+		if f := float64(v); math.IsInf(f, 0) || math.IsNaN(f) {
+			v = clampFinite32(z + s*float64(p))
+		}
+		out[i] = v
 	}
 	return out
+}
+
+// clampFinite32 converts a float64 to float32, clamping to the finite range.
+func clampFinite32(v float64) float32 {
+	if v > math.MaxFloat32 {
+		return math.MaxFloat32
+	}
+	if v < -math.MaxFloat32 {
+		return -math.MaxFloat32
+	}
+	return float32(v)
 }
 
 // MXFPFormat describes a microscaling floating-point element format
@@ -236,7 +288,7 @@ func MXFPQuantize(data []float32, f *MXFPFormat) ([]float32, float64) {
 		blocks++
 		var amax float64
 		for _, v := range data[start:end] {
-			if a := math.Abs(float64(v)); a > amax {
+			if a := math.Abs(sanitize(v)); a > amax {
 				amax = a
 			}
 		}
@@ -247,12 +299,12 @@ func MXFPQuantize(data []float32, f *MXFPFormat) ([]float32, float64) {
 		e := math.Ceil(math.Log2(amax / f.Max()))
 		scale := math.Pow(2, e)
 		for i := start; i < end; i++ {
-			v := float64(data[i]) / scale
+			v := sanitize(data[i]) / scale
 			q := f.nearest(math.Abs(v))
 			if v < 0 {
 				q = -q
 			}
-			out[i] = float32(q * scale)
+			out[i] = clampFinite32(q * scale)
 		}
 	}
 	bpv := float64(f.Bits()) + float64(blocks)*8/float64(len(data))

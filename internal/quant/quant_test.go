@@ -202,3 +202,146 @@ func TestMSEAndMAE(t *testing.T) {
 		t.Fatalf("MAE = %v, want 1", got)
 	}
 }
+
+// --- degenerate-input (NaN/±Inf) regression tests -------------------------
+//
+// math.Round(NaN) fails both clamp comparisons and uint8(NaN) is
+// platform-dependent, so before sanitization a single NaN weight corrupted
+// its whole plane nondeterministically. These tests pin the sanitized
+// behaviour: NaN contributes 0, ±Inf clamps to the finite float32 range,
+// and all outputs are finite and deterministic.
+
+func nan32() float32 { return float32(math.NaN()) }
+func inf32(sign int) float32 {
+	return float32(math.Inf(sign))
+}
+
+func assertAllFinite(t *testing.T, vals []float32, label string) {
+	t.Helper()
+	for i, v := range vals {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("%s: non-finite output %v at %d", label, v, i)
+		}
+	}
+}
+
+func TestToUint8NaNInf(t *testing.T) {
+	data := []float32{1, 2, nan32(), inf32(1), inf32(-1), 3, -4}
+	pix1, scale1, zero1 := ToUint8(data)
+	pix2, scale2, zero2 := ToUint8(data)
+	// Deterministic across calls.
+	if scale1 != scale2 || zero1 != zero2 {
+		t.Fatalf("nondeterministic scale/zero: (%v,%v) vs (%v,%v)", scale1, zero1, scale2, zero2)
+	}
+	for i := range pix1 {
+		if pix1[i] != pix2[i] {
+			t.Fatalf("nondeterministic pixel %d: %d vs %d", i, pix1[i], pix2[i])
+		}
+	}
+	// ±Inf clamp to the range extremes.
+	if pix1[3] != 255 {
+		t.Fatalf("+Inf mapped to %d, want 255", pix1[3])
+	}
+	if pix1[4] != 0 {
+		t.Fatalf("-Inf mapped to %d, want 0", pix1[4])
+	}
+	// NaN behaves as value 0: near the middle of the ±MaxFloat32 range.
+	if pix1[2] < 126 || pix1[2] > 129 {
+		t.Fatalf("NaN mapped to %d, want ~127 (value 0 in a symmetric range)", pix1[2])
+	}
+	// Metadata finite, inversion produces no NaN.
+	if math.IsNaN(float64(scale1)) || math.IsInf(float64(scale1), 0) ||
+		math.IsNaN(float64(zero1)) || math.IsInf(float64(zero1), 0) {
+		t.Fatalf("non-finite metadata: scale %v zero %v", scale1, zero1)
+	}
+	assertAllFinite(t, FromUint8(pix1, scale1, zero1), "FromUint8")
+}
+
+func TestToUint8AllNaN(t *testing.T) {
+	data := []float32{nan32(), nan32(), nan32()}
+	pix, scale, zero := ToUint8(data)
+	if scale != 0 || zero != 0 {
+		t.Fatalf("all-NaN: scale %v zero %v, want 0 0", scale, zero)
+	}
+	for i, p := range pix {
+		if p != 0 {
+			t.Fatalf("all-NaN: pixel %d = %d, want 0", i, p)
+		}
+	}
+	assertAllFinite(t, FromUint8(pix, scale, zero), "FromUint8 all-NaN")
+}
+
+func TestToUint8NaNDoesNotShiftFiniteRange(t *testing.T) {
+	// A NaN must not perturb the mapping of the finite values beyond
+	// treating it as a 0 contribution to the range.
+	clean := []float32{-1, -0.5, 0, 0.5, 1}
+	dirty := append(append([]float32(nil), clean...), nan32())
+	pixClean, sClean, zClean := ToUint8(clean)
+	pixDirty, sDirty, zDirty := ToUint8(dirty)
+	if sClean != sDirty || zClean != zDirty {
+		t.Fatalf("NaN shifted the affine map: (%v,%v) vs (%v,%v)", sClean, zClean, sDirty, zDirty)
+	}
+	for i := range pixClean {
+		if pixClean[i] != pixDirty[i] {
+			t.Fatalf("NaN shifted pixel %d: %d vs %d", i, pixClean[i], pixDirty[i])
+		}
+	}
+}
+
+func TestRTNSymmetricNaNInf(t *testing.T) {
+	data := []float32{1, nan32(), -2, inf32(1), inf32(-1), 0.5}
+	out := RTNSymmetric(data, 4)
+	assertAllFinite(t, out, "RTNSymmetric")
+	if out[1] != 0 {
+		t.Fatalf("NaN should quantize to 0, got %v", out[1])
+	}
+	// Determinism.
+	out2 := RTNSymmetric(data, 4)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, out[i], out2[i])
+		}
+	}
+	// All-NaN input quantizes to all zeros (amax sees only 0 contributions).
+	zero := RTNSymmetric([]float32{nan32(), nan32()}, 4)
+	for i, v := range zero {
+		if v != 0 {
+			t.Fatalf("all-NaN RTNSymmetric: %v at %d, want 0", v, i)
+		}
+	}
+}
+
+func TestRTNAsymmetricNaNInf(t *testing.T) {
+	data := []float32{1, nan32(), -2, inf32(1), inf32(-1), 0.5}
+	out := RTNAsymmetric(data, 4)
+	assertAllFinite(t, out, "RTNAsymmetric")
+	out2 := RTNAsymmetric(data, 4)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, out[i], out2[i])
+		}
+	}
+	// Groupwise path shares the same guard.
+	gw, _ := RTNGroupwise(data, 4, 3)
+	assertAllFinite(t, gw, "RTNGroupwise")
+}
+
+func TestMXFPQuantizeNaNInf(t *testing.T) {
+	data := []float32{1, nan32(), -2, inf32(1), inf32(-1), 0.5}
+	out, _ := MXFPQuantize(data, MXFP8)
+	assertAllFinite(t, out, "MXFPQuantize")
+}
+
+func TestMinMaxEmptyAndDegenerate(t *testing.T) {
+	if lo, hi := minMax(nil); lo != 0 || hi != 0 {
+		t.Fatalf("empty minMax = (%v, %v), want (0, 0)", lo, hi)
+	}
+	if lo, hi := minMax([]float32{nan32()}); lo != 0 || hi != 0 {
+		t.Fatalf("NaN-only minMax = (%v, %v), want (0, 0)", lo, hi)
+	}
+	lo, hi := minMax([]float32{inf32(-1), inf32(1)})
+	if lo != -math.MaxFloat32 || hi != math.MaxFloat32 {
+		t.Fatalf("Inf minMax = (%v, %v), want float32 extremes", lo, hi)
+	}
+}
