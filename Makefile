@@ -1,13 +1,18 @@
 # Build/verify entry points for the llm265 reproduction.
 #
 # `make ci` is the canonical verify step: it builds everything, vets, runs
-# the test suite, and repeats the suite under the race detector — mandatory
-# since the encode/decode engine fans plane chunks out across a goroutine
-# worker pool (internal/codec/engine.go).
+# the test suite (which includes the exhaustive corruption sweeps and the
+# fuzz targets' seed corpora), repeats the suite under the race detector —
+# mandatory since the encode/decode engine fans plane chunks out across a
+# goroutine worker pool (internal/codec/engine.go) — and finishes with a
+# short coverage-guided fuzz pass over the decode entry points.
 
 GO ?= go
 
-.PHONY: all build test vet race ci bench bench-parallel
+# Per-target time budget for the fuzz smoke pass.
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet race ci bench bench-parallel fuzz-smoke
 
 all: build
 
@@ -25,7 +30,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: build vet test race
+# Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
+# Each target is seeded from valid round-trip containers, so the fuzzer
+# starts at deep coverage; any input that panics or produces an untyped
+# error is minimized and written to testdata/fuzz/ for replay by `go test`.
+fuzz-smoke:
+	$(GO) test ./internal/codec/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeStack -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
+
+ci: build vet test race fuzz-smoke
 
 # One pass over every paper-artifact benchmark.
 bench:

@@ -5,10 +5,21 @@
 //	llm265 encode -rows 4096 -cols 4096 -bits 2.9 -in w.f32 -out w.l265
 //	llm265 decode -in w.l265 -out w_rec.f32
 //	llm265 info   -in w.l265
+//	llm265 verify -in w.l265
+//
+// verify checks container integrity without writing anything and maps the
+// decode-error taxonomy onto distinct exit codes so scripts can branch on
+// the failure class:
+//
+//	0  stream is intact and fully decodable
+//	3  corrupt (structural damage — alert, the producer is buggy or hostile)
+//	4  truncated (stream ends early — retry the transfer)
+//	5  checksum mismatch (bit-rot in transit or at rest — refetch)
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -29,13 +40,15 @@ func main() {
 		decodeCmd(os.Args[2:])
 	case "info":
 		infoCmd(os.Args[2:])
+	case "verify":
+		verifyCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info [flags]")
+	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify [flags]")
 	os.Exit(2)
 }
 
@@ -68,8 +81,9 @@ func encodeCmd(args []string) {
 		mse     = fs.Float64("mse", 0, "alternative: max MSE in the value domain")
 		qp      = fs.Int("qp", -1, "alternative: fixed quantization parameter 0..51")
 		profile = fs.String("profile", "h265", "codec profile: h264|h265|av1")
-		perRow  = fs.Bool("perrow", false, "per-row 8-bit mapping (outlier-heavy tensors)")
-		workers = fs.Int("workers", 0, "encode worker pool size (0 = GOMAXPROCS); output bytes are identical for any value")
+		perRow   = fs.Bool("perrow", false, "per-row 8-bit mapping (outlier-heavy tensors)")
+		workers  = fs.Int("workers", 0, "encode worker pool size (0 = GOMAXPROCS); output bytes are identical for any value")
+		checksum = fs.Bool("checksum", false, "emit the hardened v3 container: CRC32C on header and every chunk, verified on decode")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" || *rows <= 0 || *cols <= 0 {
@@ -92,6 +106,7 @@ func encodeCmd(args []string) {
 	opts.Profile = profileByName(*profile)
 	opts.PerRowQuant = *perRow
 	opts.Workers = *workers
+	opts.Checksum = *checksum
 
 	var enc *core.Encoded
 	switch {
@@ -168,4 +183,90 @@ func infoCmd(args []string) {
 	fmt.Printf("qp:          %d\n", enc.QP)
 	fmt.Printf("per-row map: %v\n", enc.PerRow)
 	fmt.Printf("size:        %d bytes (%.3f bits/value)\n", enc.SizeBits()/8, enc.BitsPerValue())
+	if len(enc.Stream) >= 5 {
+		checked := "no (v1/v2 container)"
+		if enc.Stream[4] == 3 {
+			checked = "yes (v3 container, CRC32C)"
+		}
+		fmt.Printf("checksummed: %s\n", checked)
+	}
+}
+
+// Exit codes of the verify subcommand, one per decode-failure class.
+const (
+	exitOK        = 0
+	exitCorrupt   = 3
+	exitTruncated = 4
+	exitChecksum  = 5
+)
+
+func verifyCmd(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "input .l265 container")
+		workers = fs.Int("workers", 0, "decode worker pool size (0 = GOMAXPROCS)")
+		partial = fs.Bool("partial", false, "on damage, also report which chunks/layers are still recoverable")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("verify requires -in"))
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+
+	verdict := func(err error) {
+		code := exitCorrupt
+		switch {
+		case errors.Is(err, core.ErrChecksum):
+			code = exitChecksum
+		case errors.Is(err, core.ErrTruncated):
+			code = exitTruncated
+		}
+		fmt.Printf("%s: DAMAGED: %v\n", *in, err)
+		os.Exit(code)
+	}
+
+	enc, err := core.UnmarshalEncoded(blob)
+	if err != nil {
+		verdict(err)
+	}
+	if !*partial {
+		if _, err := opts.DecodeStack(enc); err != nil {
+			verdict(err)
+		}
+		fmt.Printf("%s: OK (%d layer(s) of %dx%d, %.3f bits/value)\n",
+			*in, enc.Layers, enc.Rows, enc.Cols, enc.BitsPerValue())
+		return
+	}
+
+	_, report, err := opts.DecodeStackPartial(enc)
+	if err != nil {
+		verdict(err)
+	}
+	if report.Complete() {
+		fmt.Printf("%s: OK (%d chunk(s), %d plane(s))\n", *in, report.Chunks, report.TotalPlanes)
+		return
+	}
+	fmt.Printf("%s: DAMAGED: %d of %d chunk(s) failed, %d of %d plane(s) recovered\n",
+		*in, report.FailedChunks, report.Chunks, report.RecoveredPlanes, report.TotalPlanes)
+	for _, ce := range report.ChunkErrors {
+		fmt.Printf("  chunk %d (planes %d..%d): %v\n",
+			ce.Chunk, ce.PlaneStart, ce.PlaneStart+ce.PlaneCount-1, ce.Err)
+	}
+	for _, d := range report.Damaged {
+		fmt.Printf("  layer %d: %d of %d plane(s) lost\n", d.Layer, d.MissingPlanes, d.TotalPlanes)
+	}
+	// The exit code reflects the first chunk failure's class.
+	code := exitCorrupt
+	switch {
+	case errors.Is(report.ChunkErrors[0], core.ErrChecksum):
+		code = exitChecksum
+	case errors.Is(report.ChunkErrors[0], core.ErrTruncated):
+		code = exitTruncated
+	}
+	os.Exit(code)
 }

@@ -2,7 +2,6 @@ package codec
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"repro/internal/bits"
 	"repro/internal/cabac"
@@ -42,23 +41,38 @@ func Decode(data []byte) ([]*frame.Plane, error) {
 // DecodeWorkers is Decode with an explicit worker-pool size for chunked
 // containers; workers <= 0 selects runtime.GOMAXPROCS(0). Version-1 streams
 // are a single substream and always decode serially.
+//
+// DecodeWorkers never panics on hostile input: every failure is a typed
+// error matching ErrCorrupt, ErrTruncated or ErrChecksum under errors.Is.
 func DecodeWorkers(data []byte, workers int) ([]*frame.Plane, error) {
-	if len(data) < 12 {
-		return nil, errMalformed
-	}
-	for i := range magic {
-		if data[i] != magic[i] {
-			return nil, fmt.Errorf("codec: bad magic")
-		}
+	if err := checkPreamble(data); err != nil {
+		return nil, err
 	}
 	switch data[4] {
 	case 1:
 		return decodeV1(data)
-	case versionChunked:
+	case versionChunked, versionChecksummed:
 		return decodeChunked(data, workers)
 	default:
-		return nil, fmt.Errorf("codec: unsupported version %d", data[4])
+		return nil, corruptf("codec: unsupported version %d", data[4])
 	}
+}
+
+// checkPreamble validates the fixed 8-byte preamble plus the minimum header
+// tail shared by every container version.
+func checkPreamble(data []byte) error {
+	if len(data) < 4 {
+		return truncatedf("codec: %d-byte stream", len(data))
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return corruptf("codec: bad magic")
+		}
+	}
+	if len(data) < 12 {
+		return truncatedf("codec: %d-byte stream", len(data))
+	}
+	return nil
 }
 
 // parseCommonHeader reads the header fields shared by both container
@@ -67,62 +81,76 @@ func DecodeWorkers(data []byte, workers int) ([]*frame.Plane, error) {
 func parseCommonHeader(data []byte) (prof Profile, tools Tools, qp int, dims [][2]int, off int, err error) {
 	prof, ok := profileByID[data[5]]
 	if !ok {
-		return prof, tools, 0, nil, 0, fmt.Errorf("codec: unknown profile id %d", data[5])
+		return prof, tools, 0, nil, 0, corruptf("codec: unknown profile id %d", data[5])
 	}
 	tools = toolsFromBits(data[6])
 	qp = int(data[7])
 	if qp > dct.MaxQP {
-		return prof, tools, 0, nil, 0, errMalformed
+		return prof, tools, 0, nil, 0, corruptf("codec: qp %d out of range", qp)
 	}
 	off = 8
 	if len(data) < off+4 {
-		return prof, tools, 0, nil, 0, errMalformed
+		return prof, tools, 0, nil, 0, truncatedf("codec: header ends before frame count")
 	}
 	nFrames := int(binary.BigEndian.Uint32(data[off:]))
 	off += 4
-	if nFrames <= 0 || nFrames > 1<<20 || len(data) < off+8*nFrames+4 {
-		return prof, tools, 0, nil, 0, errMalformed
+	if nFrames <= 0 || nFrames > 1<<20 {
+		return prof, tools, 0, nil, 0, corruptf("codec: frame count %d out of range", nFrames)
+	}
+	if len(data) < off+8*nFrames+4 {
+		// Allocation cap: the dim table is sized from the header, so reject
+		// counts the remaining bytes cannot possibly hold before any make.
+		return prof, tools, 0, nil, 0, truncatedf("codec: header ends inside %d-entry dim table", nFrames)
 	}
 	dims = make([][2]int, nFrames)
+	totalPix := int64(0)
 	for i := range dims {
 		dims[i][0] = int(binary.BigEndian.Uint32(data[off:]))
 		dims[i][1] = int(binary.BigEndian.Uint32(data[off+4:]))
 		off += 8
-		if dims[i][0] <= 0 || dims[i][1] <= 0 {
-			return prof, tools, 0, nil, 0, errMalformed
+		// Dims above the profile's frame limit can never have been emitted
+		// by the encoder; rejecting them here also caps the planes a forged
+		// header can make the decoder allocate (§hardening, DESIGN.md §9).
+		if dims[i][0] <= 0 || dims[i][1] <= 0 ||
+			dims[i][0] > prof.MaxFrameDim || dims[i][1] > prof.MaxFrameDim {
+			return prof, tools, 0, nil, 0, corruptf("codec: frame %d dims %dx%d out of range",
+				i, dims[i][0], dims[i][1])
 		}
+		totalPix += int64(dims[i][0]) * int64(dims[i][1])
+	}
+	if totalPix > maxDecodePixels {
+		return prof, tools, 0, nil, 0, corruptf("codec: header declares %d pixels, cap is %d",
+			totalPix, int64(maxDecodePixels))
 	}
 	return prof, tools, qp, dims, off, nil
 }
 
-// decodeV1 parses the legacy single-substream container.
-func decodeV1(data []byte) ([]*frame.Plane, error) {
-	prof, tools, qp, dims, off, err := parseCommonHeader(data)
-	if err != nil {
-		return nil, err
-	}
-	if len(data) < off+4 {
-		return nil, errMalformed
-	}
-	payLen := int(binary.BigEndian.Uint32(data[off:]))
-	off += 4
-	if payLen < 0 || off+payLen > len(data) {
-		return nil, errMalformed
-	}
-	return decodeChunkPayload(data[off:off+payLen], dims, prof, tools, qp)
-}
+// maxDecodePixels caps the total source pixels a container header may
+// declare (~256 Mpx ≈ 256 MB of planes). A CABAC payload reads zeros past
+// its end instead of failing, so without this cap a few forged header bytes
+// could commit the decoder to gigabytes of plane allocations before any
+// payload byte is validated. Raise it if tensors beyond 256 Mpx per decode
+// call ever become real; the fuzz harness relies on it staying finite.
+const maxDecodePixels = 1 << 28
 
 // decodeChunkPayload decodes one independent substream covering the given
 // frame dims. All decoder state is local to the call, so distinct chunks may
 // be decoded concurrently.
 func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools, qp int) (planes []*frame.Plane, err error) {
+	// recover() must be called directly by the deferred function, so the
+	// panic trap is inlined here rather than delegated to a helper. Known
+	// decode panics travel as decodeError values; anything else (an index
+	// out of range, a failed allocation guard) is a defect we still refuse
+	// to let take the process down — it surfaces as ErrCorrupt with the
+	// panic payload preserved for debugging.
 	defer func() {
 		if r := recover(); r != nil {
 			if de, ok := r.(decodeError); ok {
-				planes, err = nil, de.err
-				return
+				err = classifyStreamErr(de.err)
+			} else {
+				err = corruptf("codec: decode panic: %v", r)
 			}
-			panic(r)
+			planes = nil
 		}
 	}()
 

@@ -15,8 +15,6 @@ import (
 	"repro/internal/intra"
 )
 
-var errMalformed = errors.New("codec: malformed bitstream")
-
 // magic identifies an LLM.265 elementary stream.
 var magic = [4]byte{'L', '2', '6', '5'}
 

@@ -1,4 +1,4 @@
-// Parallel multi-plane encode/decode engine.
+// Parallel multi-plane encode/decode engine and container framing.
 //
 // The codec is intra-only in its shipping configuration (§3.2), so every
 // plane of a tensor stack is an independent slice: it shares no prediction
@@ -6,13 +6,14 @@
 // engine exploits that by fanning plane groups ("chunks") out over a worker
 // pool — mirroring the multiple NVENC/NVDEC engines that give the hardware
 // its ~1100/1300 MB/s throughput — and stitching the per-chunk substreams
-// into a length-prefixed chunked container (bitstream version 2).
+// into a length-prefixed chunked container.
 //
 // Determinism: the chunk partition is a pure function of the plane list and
 // the tool set, every chunk is encoded by a self-contained encoder, and the
 // substreams are stitched in chunk order. Output bytes therefore do not
 // depend on the worker count or on goroutine scheduling:
-// EncodeParallel(planes, …, 1) == EncodeParallel(planes, …, N) bit for bit.
+// EncodeParallel(planes, …, 1) == EncodeParallel(planes, …, N) bit for bit
+// (and likewise for EncodeChecksummed).
 //
 // Version-2 container layout (all integers big-endian):
 //
@@ -22,6 +23,21 @@
 //	nChunks × (uint32 planeCount, uint32 payloadLen)
 //	payloads, concatenated in chunk order
 //
+// Version-3 ("hardened") container layout — v2 plus integrity:
+//
+//	"L265" | version=3 | profile | tools | qp
+//	uint32 nPlanes | nPlanes × (uint32 w, uint32 h)
+//	uint32 nChunks
+//	nChunks × (uint32 planeCount, uint32 payloadLen, uint32 payloadCRC32C)
+//	uint32 headerCRC32C   — CRC32C over every preceding byte
+//	payloads, concatenated in chunk order
+//
+// The header CRC covers the preamble, dim table and chunk table, so a
+// decoder never acts on damaged geometry; each payload CRC is verified
+// before the substream is parsed, so bit-rot inside a chunk surfaces as
+// ErrChecksum (and, under DecodePartial, damages only that chunk's planes).
+// CRC32C (Castagnoli) is used for its hardware support on both x86 and arm.
+//
 // Each payload is a self-delimiting substream identical in format to a
 // version-1 payload: fresh entropy contexts, fresh mode predictor, frame
 // indices local to the chunk.
@@ -30,6 +46,8 @@ package codec
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"runtime"
 	"sync"
 
@@ -39,6 +57,14 @@ import (
 // versionChunked is the bitstream version of the chunked multi-substream
 // container produced by EncodeParallel.
 const versionChunked = 2
+
+// versionChecksummed is the bitstream version of the hardened container
+// produced by EncodeChecksummed: chunked framing plus CRC32C integrity on
+// the header and on every chunk payload.
+const versionChecksummed = 3
+
+// crcTable is the CRC32C (Castagnoli) table used by the v3 container.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // normalizeWorkers resolves a requested worker count: values <= 0 select
 // runtime.GOMAXPROCS(0).
@@ -55,10 +81,10 @@ func normalizeWorkers(w int) int {
 // minChunkPixels is the chunk granularity floor: consecutive planes are
 // grouped into one chunk until it holds at least this many source pixels.
 // Per-chunk cost is real — a fresh CABAC context set must re-adapt, and the
-// chunk table spends 8 bytes per entry — so tiny planes are batched to keep
-// the chunked container's rate within noise of the serial single-substream
-// one, while large planes (192×192 and up) still get a chunk (and therefore
-// a worker) each.
+// chunk table spends 8 (v2) or 12 (v3) bytes per entry — so tiny planes are
+// batched to keep the chunked container's rate within noise of the serial
+// single-substream one, while large planes (192×192 and up) still get a
+// chunk (and therefore a worker) each.
 const minChunkPixels = 1 << 15
 
 // chunkSpans partitions planes into contiguous [start, end) chunks that are
@@ -89,6 +115,57 @@ func chunkSpans(planes []*frame.Plane, tools Tools) [][2]int {
 	return spans
 }
 
+// encodeChunksParallel encodes each span as an independent substream on a
+// pool of `workers` goroutines, returning per-chunk payloads and per-chunk
+// reconstructions in span order.
+func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int) ([][]byte, [][]*frame.Plane) {
+	payloads := make([][]byte, len(spans))
+	recs := make([][]*frame.Plane, len(spans))
+	workers = normalizeWorkers(workers)
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	if workers == 1 {
+		for i, s := range spans {
+			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
+		}
+		return payloads, recs
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s := spans[i]
+				payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
+			}
+		}()
+	}
+	for i := range spans {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return payloads, recs
+}
+
+// writeCommonHeader emits the preamble and dim table shared by all container
+// versions.
+func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, qp int, prof Profile, tools Tools) {
+	head.Write(magic[:])
+	head.WriteByte(version)
+	head.WriteByte(prof.id())
+	head.WriteByte(tools.bits())
+	head.WriteByte(uint8(qp))
+	binary.Write(head, binary.BigEndian, uint32(len(planes)))
+	for _, p := range planes {
+		binary.Write(head, binary.BigEndian, uint32(p.W))
+		binary.Write(head, binary.BigEndian, uint32(p.H))
+	}
+}
+
 // EncodeParallel compresses planes at the given QP like Encode, but encodes
 // independent plane chunks concurrently on a pool of `workers` goroutines
 // (workers <= 0 selects runtime.GOMAXPROCS(0)) and emits the chunked
@@ -111,48 +188,10 @@ func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 		// streams and free of chunking overhead.
 		return Encode(planes, qp, prof, tools)
 	}
-	workers = normalizeWorkers(workers)
-	if workers > len(spans) {
-		workers = len(spans)
-	}
-
-	payloads := make([][]byte, len(spans))
-	recs := make([][]*frame.Plane, len(spans))
-	if workers == 1 {
-		for i, s := range spans {
-			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
-		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					s := spans[i]
-					payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
-				}
-			}()
-		}
-		for i := range spans {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers)
 
 	var head bytes.Buffer
-	head.Write(magic[:])
-	head.WriteByte(versionChunked)
-	head.WriteByte(prof.id())
-	head.WriteByte(tools.bits())
-	head.WriteByte(uint8(qp))
-	binary.Write(&head, binary.BigEndian, uint32(len(planes)))
-	for _, p := range planes {
-		binary.Write(&head, binary.BigEndian, uint32(p.W))
-		binary.Write(&head, binary.BigEndian, uint32(p.H))
-	}
+	writeCommonHeader(&head, versionChunked, planes, qp, prof, tools)
 	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
 	total := head.Len()
 	for i, s := range spans {
@@ -166,85 +205,250 @@ func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 		out = append(out, p...)
 	}
 
+	st := statsFromChunks(planes, recs, len(out)*8, len(spans))
+	return out, st, nil
+}
+
+// EncodeChecksummed compresses planes like EncodeParallel but always emits
+// the hardened version-3 container: the header (preamble, dim table, chunk
+// table) is covered by a CRC32C, and every chunk payload carries its own
+// CRC32C, verified before decode. Unlike EncodeParallel it never falls back
+// to version 1 — a single-chunk workload still gets a one-entry chunk table,
+// because integrity framing is the point. Output bytes are identical for
+// every worker count.
+func EncodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int) ([]byte, Stats, error) {
+	if err := validateEncode(planes, qp, prof); err != nil {
+		return nil, Stats{}, err
+	}
+	spans := chunkSpans(planes, tools)
+	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers)
+
+	var head bytes.Buffer
+	writeCommonHeader(&head, versionChecksummed, planes, qp, prof, tools)
+	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
+	total := head.Len() + 4 // + trailing header CRC
+	for i, s := range spans {
+		binary.Write(&head, binary.BigEndian, uint32(s[1]-s[0]))
+		binary.Write(&head, binary.BigEndian, uint32(len(payloads[i])))
+		binary.Write(&head, binary.BigEndian, crc32.Checksum(payloads[i], crcTable))
+		total += 12 + len(payloads[i])
+	}
+	binary.Write(&head, binary.BigEndian, crc32.Checksum(head.Bytes(), crcTable))
+	out := make([]byte, 0, total)
+	out = append(out, head.Bytes()...)
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+
+	st := statsFromChunks(planes, recs, len(out)*8, len(spans))
+	return out, st, nil
+}
+
+// statsFromChunks flattens per-chunk reconstructions and computes Stats.
+func statsFromChunks(planes []*frame.Plane, recs [][]*frame.Plane, bits, chunks int) Stats {
 	allRecs := make([]*frame.Plane, 0, len(planes))
 	for _, r := range recs {
 		allRecs = append(allRecs, r...)
 	}
-	st := computeStats(planes, allRecs, len(out)*8)
-	st.Chunks = len(spans)
-	return out, st, nil
+	st := computeStats(planes, allRecs, bits)
+	st.Chunks = chunks
+	return st
 }
 
-// decodeChunked parses the version-2 container and decodes its substreams
-// concurrently on a pool of `workers` goroutines.
-func decodeChunked(data []byte, workers int) ([]*frame.Plane, error) {
+// ---------------------------------------------------------------- parsing
+
+// chunkMeta is one entry of a parsed container's chunk layout. When err is
+// non-nil the chunk is unusable before any entropy decoding happens
+// (payload out of range, or a v3 CRC mismatch).
+type chunkMeta struct {
+	payload   []byte
+	dims      [][2]int
+	planeBase int
+	err       error
+}
+
+// parsedContainer is the validated frame of any container version: geometry
+// plus the per-chunk payload windows. All bounds are checked against the
+// actual data length before any payload-sized state is allocated.
+type parsedContainer struct {
+	version byte
+	prof    Profile
+	tools   Tools
+	qp      int
+	dims    [][2]int
+	chunks  []chunkMeta
+}
+
+// parseContainer validates a container of any version down to its chunk
+// layout. In strict mode (lenient=false) the first defect — truncation, CRC
+// mismatch, impossible counts — aborts with an error. In lenient mode,
+// defects confined to a single chunk (payload runs past the end of data, or
+// a payload CRC mismatch) are recorded on that chunk's meta.err so
+// DecodePartial can still recover the others; defects in the shared header
+// or chunk table still abort, because no geometry can be trusted after them.
+func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
+	if err := checkPreamble(data); err != nil {
+		return nil, err
+	}
+	version := data[4]
+	switch version {
+	case 1, versionChunked, versionChecksummed:
+	default:
+		return nil, corruptf("codec: unsupported version %d", version)
+	}
 	prof, tools, qp, dims, off, err := parseCommonHeader(data)
 	if err != nil {
 		return nil, err
 	}
+	pc := &parsedContainer{version: version, prof: prof, tools: tools, qp: qp, dims: dims}
+
+	if version == 1 {
+		if len(data) < off+4 {
+			return nil, truncatedf("codec: v1 header ends before payload length")
+		}
+		payLen := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		meta := chunkMeta{dims: dims, planeBase: 0}
+		switch {
+		case payLen < 0:
+			return nil, corruptf("codec: negative payload length")
+		case off+payLen > len(data):
+			meta.err = truncatedf("codec: payload needs %d bytes, %d remain", payLen, len(data)-off)
+			if !lenient {
+				return nil, meta.err
+			}
+		case !lenient && off+payLen != len(data):
+			// Exact-length rule (strict mode): the encoder never emits
+			// trailing bytes, so a container longer than it declares is
+			// damaged framing. This is also what defeats the version-byte
+			// downgrade: a bit flip turning a v3 container into "v1" leaves
+			// the CRC fields and payloads dangling past the declared end.
+			return nil, corruptf("codec: %d trailing bytes after declared payload", len(data)-off-payLen)
+		default:
+			meta.payload = data[off : off+payLen]
+		}
+		pc.chunks = []chunkMeta{meta}
+		return pc, nil
+	}
+
 	if len(data) < off+4 {
-		return nil, errMalformed
+		return nil, truncatedf("codec: header ends before chunk count")
 	}
 	nChunks := int(binary.BigEndian.Uint32(data[off:]))
 	off += 4
 	if nChunks <= 0 || nChunks > len(dims) {
-		return nil, errMalformed
+		return nil, corruptf("codec: chunk count %d out of range for %d planes", nChunks, len(dims))
 	}
-	if len(data) < off+8*nChunks {
-		return nil, errMalformed
+	entry := 8
+	if version == versionChecksummed {
+		entry = 12
 	}
-	type chunk struct {
-		payload   []byte
-		dims      [][2]int
-		planeBase int
+	if len(data) < off+entry*nChunks {
+		return nil, truncatedf("codec: header ends inside %d-entry chunk table", nChunks)
 	}
 	counts := make([]int, nChunks)
 	sizes := make([]int, nChunks)
+	crcs := make([]uint32, nChunks)
 	totalPlanes := 0
 	for i := 0; i < nChunks; i++ {
 		counts[i] = int(binary.BigEndian.Uint32(data[off:]))
 		sizes[i] = int(binary.BigEndian.Uint32(data[off+4:]))
-		off += 8
+		if version == versionChecksummed {
+			crcs[i] = binary.BigEndian.Uint32(data[off+8:])
+		}
+		off += entry
 		if counts[i] <= 0 || sizes[i] < 0 {
-			return nil, errMalformed
+			return nil, corruptf("codec: chunk %d declares %d planes, %d bytes", i, counts[i], sizes[i])
 		}
 		totalPlanes += counts[i]
+		if totalPlanes > len(dims) {
+			return nil, corruptf("codec: chunk table covers %d planes, container has %d", totalPlanes, len(dims))
+		}
 	}
 	if totalPlanes != len(dims) {
-		return nil, errMalformed
+		return nil, corruptf("codec: chunk table covers %d planes, container has %d", totalPlanes, len(dims))
 	}
-	chunks := make([]chunk, nChunks)
+	if version == versionChecksummed {
+		// The header CRC covers everything before itself: preamble, dim
+		// table and chunk table. Verified before any payload is touched so
+		// damaged geometry is never acted on.
+		if len(data) < off+4 {
+			return nil, truncatedf("codec: header ends before header CRC")
+		}
+		want := binary.BigEndian.Uint32(data[off:])
+		if got := crc32.Checksum(data[:off], crcTable); got != want {
+			return nil, fmt.Errorf("codec: header CRC %08x != %08x: %w", got, want, ErrChecksum)
+		}
+		off += 4
+	}
+
+	pc.chunks = make([]chunkMeta, nChunks)
 	base := 0
 	for i := 0; i < nChunks; i++ {
+		meta := chunkMeta{dims: dims[base : base+counts[i]], planeBase: base}
 		if off+sizes[i] > len(data) {
-			return nil, errMalformed
+			meta.err = truncatedf("codec: chunk %d needs %d bytes, %d remain", i, sizes[i], len(data)-off)
+			if !lenient {
+				return nil, meta.err
+			}
+			// Later chunk offsets are still well-defined (lengths are in the
+			// verified table), but they are all past the end too; keep
+			// walking so every chunk gets a truncation record.
+		} else {
+			payload := data[off : off+sizes[i]]
+			if version == versionChecksummed {
+				if got := crc32.Checksum(payload, crcTable); got != crcs[i] {
+					meta.err = fmt.Errorf("codec: chunk %d CRC %08x != %08x: %w", i, got, crcs[i], ErrChecksum)
+					if !lenient {
+						return nil, meta.err
+					}
+				} else {
+					meta.payload = payload
+				}
+			} else {
+				meta.payload = payload
+			}
 		}
-		chunks[i] = chunk{
-			payload:   data[off : off+sizes[i]],
-			dims:      dims[base : base+counts[i]],
-			planeBase: base,
-		}
+		pc.chunks[i] = meta
 		off += sizes[i]
 		base += counts[i]
 	}
+	if !lenient && off < len(data) {
+		// Exact-length rule (strict mode), mirroring v1: the encoder emits
+		// nothing after the last payload, so trailing bytes mean damaged
+		// framing — e.g. a version byte flipped 3→2 leaves the v3 CRC fields
+		// misparsed into the chunk table and payload bytes dangling.
+		return nil, corruptf("codec: %d trailing bytes after container end", len(data)-off)
+	}
+	return pc, nil
+}
 
-	planes := make([]*frame.Plane, len(dims))
-	errs := make([]error, nChunks)
+// decodeChunks decodes every usable chunk of a parsed container on a pool
+// of `workers` goroutines. Failed chunks leave nil planes and produce a
+// ChunkError; recovered planes land at their container positions.
+func decodeChunks(pc *parsedContainer, workers int) ([]*frame.Plane, []ChunkError) {
+	planes := make([]*frame.Plane, len(pc.dims))
+	errs := make([]error, len(pc.chunks))
 	decodeOne := func(i int) {
-		ps, err := decodeChunkPayload(chunks[i].payload, chunks[i].dims, prof, tools, qp)
+		c := &pc.chunks[i]
+		if c.err != nil {
+			errs[i] = c.err
+			return
+		}
+		ps, err := decodeChunkPayload(c.payload, c.dims, pc.prof, pc.tools, pc.qp)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		copy(planes[chunks[i].planeBase:], ps)
+		copy(planes[c.planeBase:], ps)
 	}
 
 	workers = normalizeWorkers(workers)
-	if workers > nChunks {
-		workers = nChunks
+	if workers > len(pc.chunks) {
+		workers = len(pc.chunks)
 	}
 	if workers == 1 {
-		for i := range chunks {
+		for i := range pc.chunks {
 			decodeOne(i)
 		}
 	} else {
@@ -259,16 +463,48 @@ func decodeChunked(data []byte, workers int) ([]*frame.Plane, error) {
 				}
 			}()
 		}
-		for i := range chunks {
+		for i := range pc.chunks {
 			jobs <- i
 		}
 		close(jobs)
 		wg.Wait()
 	}
-	for _, err := range errs {
+
+	var chunkErrs []ChunkError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			chunkErrs = append(chunkErrs, ChunkError{
+				Chunk:      i,
+				PlaneStart: pc.chunks[i].planeBase,
+				PlaneCount: len(pc.chunks[i].dims),
+				Err:        err,
+			})
 		}
+	}
+	return planes, chunkErrs
+}
+
+// decodeV1 parses the legacy single-substream container (kept as the
+// fast path for Decode on version-1 data; also exercised via DecodeWorkers).
+func decodeV1(data []byte) ([]*frame.Plane, error) {
+	pc, err := parseContainer(data, false)
+	if err != nil {
+		return nil, err
+	}
+	return decodeChunkPayload(pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp)
+}
+
+// decodeChunked parses a version-2 or version-3 container and decodes its
+// substreams concurrently on a pool of `workers` goroutines, failing on the
+// first defective chunk.
+func decodeChunked(data []byte, workers int) ([]*frame.Plane, error) {
+	pc, err := parseContainer(data, false)
+	if err != nil {
+		return nil, err
+	}
+	planes, chunkErrs := decodeChunks(pc, workers)
+	if len(chunkErrs) > 0 {
+		return nil, chunkErrs[0]
 	}
 	return planes, nil
 }

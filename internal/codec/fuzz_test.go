@@ -1,0 +1,70 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+)
+
+// typedOrNil fails the fuzz run if err is non-nil but matches none of the
+// decode-error taxonomy — the contract is that hostile bytes produce typed
+// errors, not ad-hoc ones and never panics.
+func typedOrNil(t *testing.T, label string, err error) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+		t.Fatalf("%s: untyped decode error %v", label, err)
+	}
+}
+
+// FuzzDecode drives the strict and partial decoders with arbitrary bytes.
+// The invariants, checked on every input the fuzzer invents:
+//
+//   - neither decoder panics (the fuzz engine fails the run on panic);
+//   - every rejection is typed (ErrCorrupt / ErrTruncated / ErrChecksum);
+//   - when the strict decoder accepts, the partial decoder agrees: no chunk
+//     errors, identical plane geometry and pixels.
+//
+// Seeded with one valid container of each version so the fuzzer starts from
+// deep coverage rather than rediscovering the header format bit by bit.
+func FuzzDecode(f *testing.F) {
+	v1, v2, v3, _ := corpusStreams(f)
+	f.Add(v1)
+	f.Add(v2)
+	f.Add(v3)
+	f.Add([]byte{})
+	f.Add([]byte("L265"))
+	// A truncated v3 prefix keeps the fuzzer exploring the chunk table.
+	f.Add(v3[:len(v3)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		planes, strictErr := DecodeWorkers(data, 1)
+		typedOrNil(t, "strict", strictErr)
+
+		res, partialErr := DecodePartial(data, 1)
+		typedOrNil(t, "partial", partialErr)
+
+		if strictErr == nil {
+			// Accepted streams must decode identically under DecodePartial.
+			if partialErr != nil {
+				t.Fatalf("strict accepted but partial rejected: %v", partialErr)
+			}
+			if !res.OK() {
+				t.Fatalf("strict accepted but partial reports chunk errors: %v", res.Errors)
+			}
+			if len(res.Planes) != len(planes) {
+				t.Fatalf("plane counts: strict %d, partial %d", len(planes), len(res.Planes))
+			}
+			for i := range planes {
+				if !planes[i].Equal(res.Planes[i]) {
+					t.Fatalf("plane %d differs between strict and partial decode", i)
+				}
+			}
+		}
+		if partialErr == nil {
+			for _, ce := range res.Errors {
+				typedOrNil(t, "chunk", ce.Err)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+)
+
+// ChunkError reports one chunk that failed to decode: which chunk, which
+// plane range it covered, and why. Err matches ErrCorrupt, ErrTruncated or
+// ErrChecksum under errors.Is.
+type ChunkError struct {
+	Chunk      int // chunk index in container order
+	PlaneStart int // index of the chunk's first plane
+	PlaneCount int // number of planes the chunk covered
+	Err        error
+}
+
+// Error implements error.
+func (e ChunkError) Error() string {
+	return fmt.Sprintf("chunk %d (planes %d..%d): %v",
+		e.Chunk, e.PlaneStart, e.PlaneStart+e.PlaneCount-1, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e ChunkError) Unwrap() error { return e.Err }
+
+// PartialResult is the outcome of a best-effort decode: every plane whose
+// chunk verified and parsed, nil placeholders for the rest, and a per-chunk
+// error report.
+type PartialResult struct {
+	// Planes has one entry per container plane, in container order. Entries
+	// covered by a failed chunk are nil.
+	Planes []*frame.Plane
+	// Chunks is the total chunk count of the container (1 for version 1).
+	Chunks int
+	// Errors lists every failed chunk in container order. Empty means the
+	// stream decoded completely.
+	Errors []ChunkError
+}
+
+// OK reports whether every chunk decoded.
+func (r *PartialResult) OK() bool { return len(r.Errors) == 0 }
+
+// Recovered reports how many planes decoded successfully.
+func (r *PartialResult) Recovered() int {
+	n := 0
+	for _, p := range r.Planes {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// DecodePartial is the graceful-degradation decode: it parses the container,
+// decodes every chunk whose bytes are present (and, for version-3, whose
+// CRC32C verifies), and reports the rest as ChunkErrors instead of failing
+// the whole stream. A serving layer uses it when one shard of a cached
+// tensor arrives damaged: the undamaged planes are still served and only
+// the failed chunk's planes need refetching.
+//
+// The top-level error is non-nil only when nothing can be recovered because
+// the shared geometry itself is unusable — bad magic, truncated or
+// CRC-failing header, impossible chunk table. Like DecodeWorkers it never
+// panics on hostile input.
+func DecodePartial(data []byte, workers int) (*PartialResult, error) {
+	pc, err := parseContainer(data, true)
+	if err != nil {
+		return nil, err
+	}
+	planes, chunkErrs := decodeChunks(pc, workers)
+	return &PartialResult{Planes: planes, Chunks: len(pc.chunks), Errors: chunkErrs}, nil
+}

@@ -32,6 +32,13 @@ type Options struct {
 	// serial operation. Output bytes are identical for every worker count —
 	// the chunked container is stitched in plane order.
 	Workers int
+	// Checksum emits the hardened version-3 codec container: CRC32C over
+	// the header and over every chunk payload, verified on decode. Costs 4
+	// bytes per chunk plus 4 header bytes; buys detection of any bit-rot in
+	// transit or at rest, and enables DecodeStackPartial to identify exactly
+	// which chunks of a damaged stream are still trustworthy. Off by
+	// default so existing streams stay byte-identical.
+	Checksum bool
 }
 
 // DefaultOptions returns the paper's shipping configuration: H.265 profile
@@ -129,7 +136,11 @@ func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
 		}
 		planes = append(planes, frame.FromMatrix(pix, rows, cols, o.MaxFrameW, o.MaxFrameH)...)
 	}
-	stream, st, err := codec.EncodeParallel(planes, qp, o.Profile, o.Tools, o.Workers)
+	encode := codec.EncodeParallel
+	if o.Checksum {
+		encode = codec.EncodeChecksummed
+	}
+	stream, st, err := encode(planes, qp, o.Profile, o.Tools, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -143,32 +154,131 @@ func (o Options) Encode(t *Tensor, qp int) (*Encoded, error) {
 	return o.EncodeStack([]*Tensor{t}, qp)
 }
 
+// Error taxonomy of the decode path, re-exported from the codec layer so
+// serving code can switch on failure class without importing internals:
+// ErrTruncated (stream ends early — retry the fetch), ErrChecksum (v3 CRC
+// mismatch — refetch the damaged bytes), ErrCorrupt (anything else
+// structurally wrong — alert). All decode entry points return errors
+// matching one of these under errors.Is and never panic on hostile input.
+var (
+	ErrCorrupt   = codec.ErrCorrupt
+	ErrTruncated = codec.ErrTruncated
+	ErrChecksum  = codec.ErrChecksum
+)
+
+// validate checks an Encoded's metadata for internal consistency before any
+// geometry-driven allocation: positive dims, positive frame bounds, and a
+// scale/zero table sized exactly for the declared quantization mode. It is
+// the gate that makes a forged container an error instead of a panic or an
+// absurd allocation.
+func (e *Encoded) validate() error {
+	if e.Layers <= 0 || e.Rows <= 0 || e.Cols <= 0 {
+		return fmt.Errorf("core: bad dimensions %dx%dx%d: %w", e.Layers, e.Rows, e.Cols, ErrCorrupt)
+	}
+	if e.MaxFrameW <= 0 || e.MaxFrameH <= 0 {
+		return fmt.Errorf("core: bad frame bounds %dx%d: %w", e.MaxFrameW, e.MaxFrameH, ErrCorrupt)
+	}
+	// Allocation caps: a layer's matrix and the band/slab region table are
+	// sized from header fields alone, so bound them before anything is made.
+	// The per-layer pixel cap mirrors codec.maxDecodePixels; the plane cap
+	// mirrors the codec container's 2^20 frame-count limit, which any
+	// decodable stream must satisfy anyway.
+	if int64(e.Rows)*int64(e.Cols) > 1<<28 {
+		return fmt.Errorf("core: layer of %dx%d pixels exceeds cap: %w", e.Rows, e.Cols, ErrCorrupt)
+	}
+	nRegions := int64((e.Rows-1)/e.MaxFrameH+1) * int64((e.Cols-1)/e.MaxFrameW+1)
+	if int64(e.Layers)*nRegions > 1<<20 {
+		return fmt.Errorf("core: %d layers × %d planes exceeds cap: %w", e.Layers, nRegions, ErrCorrupt)
+	}
+	want := e.Layers
+	if e.PerRow {
+		if e.Rows > (1<<31-1)/e.Layers {
+			return fmt.Errorf("core: per-row metadata count overflows: %w", ErrCorrupt)
+		}
+		want = e.Layers * e.Rows
+	}
+	if len(e.Scales) != want || len(e.Zeros) != want {
+		return fmt.Errorf("core: metadata count %d/%d, want %d: %w",
+			len(e.Scales), len(e.Zeros), want, ErrCorrupt)
+	}
+	return nil
+}
+
+// regions returns the per-layer band/slab partition of the tensor matrix;
+// region i corresponds to plane l*len(regions)+i of the decoded stream.
+func (e *Encoded) regions() []frame.Region {
+	return frame.Regions(e.Rows, e.Cols, e.MaxFrameW, e.MaxFrameH)
+}
+
+// checkPlaneGeometry verifies that the decoded plane list matches the
+// geometry the metadata declares, so matrix reassembly cannot index or
+// panic on a mismatched stream. Nil planes (partial decode) are skipped.
+func (e *Encoded) checkPlaneGeometry(planes []*frame.Plane, regs []frame.Region) error {
+	if len(planes) != e.Layers*len(regs) {
+		return fmt.Errorf("core: stream decodes to %d planes, metadata wants %d×%d: %w",
+			len(planes), e.Layers, len(regs), ErrCorrupt)
+	}
+	for i, p := range planes {
+		if p == nil {
+			continue
+		}
+		reg := regs[i%len(regs)]
+		if p.W != reg.W || p.H != reg.H {
+			return fmt.Errorf("core: plane %d is %dx%d, metadata wants %dx%d: %w",
+				i, p.W, p.H, reg.W, reg.H, ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// dequantLayer assembles layer l from its planes (entries may be nil under
+// partial decode), dequantizing recovered regions and leaving damaged
+// regions at the zero-fill value 0.0. It reports how many of the layer's
+// planes were missing.
+func (e *Encoded) dequantLayer(l int, layerPlanes []*frame.Plane, regs []frame.Region) (*Tensor, int) {
+	t := NewTensor(e.Rows, e.Cols)
+	missing := 0
+	for i, reg := range regs {
+		p := layerPlanes[i]
+		if p == nil {
+			missing++
+			continue
+		}
+		for y := 0; y < reg.H; y++ {
+			row := reg.Y0 + y
+			var s, z float32
+			if e.PerRow {
+				s, z = e.Scales[l*e.Rows+row], e.Zeros[l*e.Rows+row]
+			} else {
+				s, z = e.Scales[l], e.Zeros[l]
+			}
+			vals := quant.FromUint8(p.Row(y), s, z)
+			copy(t.Data[row*e.Cols+reg.X0:row*e.Cols+reg.X0+reg.W], vals)
+		}
+	}
+	return t, missing
+}
+
 // DecodeStack reconstructs the tensor stack from an Encoded, decoding
-// independent bitstream chunks concurrently per o.Workers.
+// independent bitstream chunks concurrently per o.Workers. It fails on the
+// first damaged chunk; see DecodeStackPartial for best-effort recovery.
 func (o Options) DecodeStack(e *Encoded) ([]*Tensor, error) {
 	o = o.normalized()
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
 	planes, err := codec.DecodeWorkers(e.Stream, o.Workers)
 	if err != nil {
 		return nil, err
 	}
-	perLayer := len(planes) / e.Layers
-	if perLayer*e.Layers != len(planes) {
-		return nil, errors.New("core: frame count does not divide layers")
+	regs := e.regions()
+	if err := e.checkPlaneGeometry(planes, regs); err != nil {
+		return nil, err
 	}
+	perLayer := len(regs)
 	out := make([]*Tensor, e.Layers)
 	for l := 0; l < e.Layers; l++ {
-		pix := frame.ToMatrix(planes[l*perLayer:(l+1)*perLayer], e.Rows, e.Cols, e.MaxFrameW, e.MaxFrameH)
-		t := NewTensor(e.Rows, e.Cols)
-		if e.PerRow {
-			for r := 0; r < e.Rows; r++ {
-				vals := quant.FromUint8(pix[r*e.Cols:(r+1)*e.Cols],
-					e.Scales[l*e.Rows+r], e.Zeros[l*e.Rows+r])
-				copy(t.Data[r*e.Cols:(r+1)*e.Cols], vals)
-			}
-		} else {
-			copy(t.Data, quant.FromUint8(pix, e.Scales[l], e.Zeros[l]))
-		}
-		out[l] = t
+		out[l], _ = e.dequantLayer(l, planes[l*perLayer:(l+1)*perLayer], regs)
 	}
 	return out, nil
 }
@@ -354,79 +464,75 @@ func (e *Encoded) Marshal() []byte {
 	return buf.Bytes()
 }
 
-// UnmarshalEncoded parses a stream produced by Marshal.
+// UnmarshalEncoded parses a stream produced by Marshal. Every length and
+// count field is validated against the bytes actually present before any
+// allocation is sized from it, so a tiny stream claiming 2³¹ elements is
+// rejected up front; failures are typed (ErrTruncated for streams that end
+// early, ErrCorrupt for impossible fields) and the function never panics.
 func UnmarshalEncoded(data []byte) (*Encoded, error) {
-	r := bytes.NewReader(data)
-	hdr := make([]byte, 6)
-	if _, err := r.Read(hdr); err != nil || string(hdr) != "L265T\x01" {
-		return nil, errors.New("core: bad container header")
+	const fixedHeader = 6 + 4 + 4 + 4 + 1 + 4 + 4 + 1 + 4 // magic..metadata count
+	if len(data) < 6 || string(data[:6]) != "L265T\x01" {
+		if len(data) >= 6 {
+			return nil, fmt.Errorf("core: bad container header: %w", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("core: %d-byte container: %w", len(data), ErrTruncated)
 	}
-	var u32 = func() (uint32, error) {
-		var v uint32
-		err := binary.Read(r, binary.BigEndian, &v)
-		return v, err
+	if len(data) < fixedHeader {
+		return nil, fmt.Errorf("core: container ends inside fixed header: %w", ErrTruncated)
+	}
+	off := 6
+	u32 := func() int {
+		v := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		return v
 	}
 	e := &Encoded{}
-	var err error
-	var v uint32
-	if v, err = u32(); err != nil {
-		return nil, err
-	}
-	e.Layers = int(v)
-	if v, err = u32(); err != nil {
-		return nil, err
-	}
-	e.Rows = int(v)
-	if v, err = u32(); err != nil {
-		return nil, err
-	}
-	e.Cols = int(v)
-	b, err := r.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	e.PerRow = b == 1
-	if v, err = u32(); err != nil {
-		return nil, err
-	}
-	e.MaxFrameW = int(v)
-	if v, err = u32(); err != nil {
-		return nil, err
-	}
-	e.MaxFrameH = int(v)
-	if b, err = r.ReadByte(); err != nil {
-		return nil, err
-	}
-	e.QP = int(b)
-	if v, err = u32(); err != nil {
-		return nil, err
-	}
-	n := int(v)
+	e.Layers = u32()
+	e.Rows = u32()
+	e.Cols = u32()
+	e.PerRow = data[off] == 1
+	off++
+	e.MaxFrameW = u32()
+	e.MaxFrameH = u32()
+	e.QP = int(data[off])
+	off++
+	n := u32()
+	// Allocation cap: each metadata entry occupies 8 bytes, so a count the
+	// remaining bytes cannot hold is rejected before the tables are made.
 	if n < 0 || n > 1<<24 {
-		return nil, errors.New("core: bad metadata count")
+		return nil, fmt.Errorf("core: metadata count %d out of range: %w", n, ErrCorrupt)
+	}
+	if len(data)-off < 8*n {
+		return nil, fmt.Errorf("core: container ends inside %d-entry metadata table: %w", n, ErrTruncated)
 	}
 	e.Scales = make([]float32, n)
 	e.Zeros = make([]float32, n)
 	for i := 0; i < n; i++ {
-		var s, z uint32
-		if err := binary.Read(r, binary.BigEndian, &s); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(r, binary.BigEndian, &z); err != nil {
-			return nil, err
-		}
-		e.Scales[i] = math.Float32frombits(s)
-		e.Zeros[i] = math.Float32frombits(z)
+		e.Scales[i] = math.Float32frombits(binary.BigEndian.Uint32(data[off:]))
+		e.Zeros[i] = math.Float32frombits(binary.BigEndian.Uint32(data[off+4:]))
+		off += 8
 	}
-	if v, err = u32(); err != nil {
+	if len(data)-off < 4 {
+		return nil, fmt.Errorf("core: container ends before stream length: %w", ErrTruncated)
+	}
+	streamLen := u32()
+	if streamLen < 0 {
+		return nil, fmt.Errorf("core: negative stream length: %w", ErrCorrupt)
+	}
+	if len(data)-off < streamLen {
+		return nil, fmt.Errorf("core: stream needs %d bytes, %d remain: %w",
+			streamLen, len(data)-off, ErrTruncated)
+	}
+	if len(data)-off > streamLen {
+		// Exact-length rule, mirroring the codec container: Marshal emits
+		// nothing after the stream, so trailing bytes mean damaged framing.
+		return nil, fmt.Errorf("core: %d trailing bytes after stream: %w",
+			len(data)-off-streamLen, ErrCorrupt)
+	}
+	e.Stream = make([]byte, streamLen)
+	copy(e.Stream, data[off:off+streamLen])
+	if err := e.validate(); err != nil {
 		return nil, err
-	}
-	e.Stream = make([]byte, v)
-	if _, err := r.Read(e.Stream); err != nil && int(v) > 0 {
-		return nil, err
-	}
-	if e.Layers <= 0 || e.Rows <= 0 || e.Cols <= 0 {
-		return nil, errors.New("core: bad dimensions")
 	}
 	return e, nil
 }

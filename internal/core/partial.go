@@ -1,0 +1,98 @@
+// Best-effort decoding for damaged containers.
+//
+// The serving scenario (ROADMAP north star; VcLLM-style remote KV-cache
+// reuse) moves compressed tensor shards across networks and caches, where
+// truncation and bit-rot are routine. DecodeStack fails the whole stack on
+// the first damaged chunk; DecodeStackPartial instead recovers every chunk
+// that still verifies and reports exactly what was lost, so a serving layer
+// can serve the intact planes immediately and refetch only the damaged
+// ones.
+package core
+
+import (
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+// LayerDamage describes the damage within one layer of a partially decoded
+// stack.
+type LayerDamage struct {
+	Layer         int // layer index in the stack
+	MissingPlanes int // planes of this layer lost to failed chunks
+	TotalPlanes   int // planes this layer is split into
+}
+
+// DecodeReport summarizes a DecodeStackPartial call.
+type DecodeReport struct {
+	Chunks          int // independently decodable chunks in the container
+	FailedChunks    int // chunks that failed checksum, truncation or parsing
+	TotalPlanes     int // planes across the whole stack
+	RecoveredPlanes int // planes decoded successfully
+	// Damaged lists every layer that lost at least one plane, in layer
+	// order. Damaged layers are returned zero-filled in the lost regions.
+	Damaged []LayerDamage
+	// ChunkErrors details each failed chunk; every Err matches ErrCorrupt,
+	// ErrTruncated or ErrChecksum under errors.Is.
+	ChunkErrors []codec.ChunkError
+}
+
+// Complete reports whether the stream decoded with no loss.
+func (r *DecodeReport) Complete() bool { return r.FailedChunks == 0 }
+
+// LayerDamaged reports whether layer l lost any plane.
+func (r *DecodeReport) LayerDamaged(l int) bool {
+	for _, d := range r.Damaged {
+		if d.Layer == l {
+			return true
+		}
+	}
+	return false
+}
+
+// DecodeStackPartial reconstructs as much of the tensor stack as the stream
+// allows. Chunks that fail their v3 CRC32C, are truncated away, or do not
+// parse are skipped; the tensor regions they covered are zero-filled (0.0
+// is the neutral value for weights and gradients), and the report says
+// exactly which layers and chunks were hit. The error is non-nil only when
+// nothing is recoverable: an unusable container header, or metadata that
+// contradicts the stream's actual geometry.
+//
+// On an undamaged stream it returns the same tensors as DecodeStack with a
+// Complete() report, so callers can use it unconditionally.
+func (o Options) DecodeStackPartial(e *Encoded) ([]*Tensor, *DecodeReport, error) {
+	o = o.normalized()
+	if err := e.validate(); err != nil {
+		return nil, nil, err
+	}
+	res, err := codec.DecodePartial(e.Stream, o.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	regs := e.regions()
+	if err := e.checkPlaneGeometry(res.Planes, regs); err != nil {
+		return nil, nil, err
+	}
+	report := &DecodeReport{
+		Chunks:          res.Chunks,
+		FailedChunks:    len(res.Errors),
+		TotalPlanes:     len(res.Planes),
+		RecoveredPlanes: res.Recovered(),
+		ChunkErrors:     res.Errors,
+	}
+	perLayer := len(regs)
+	out := make([]*Tensor, e.Layers)
+	for l := 0; l < e.Layers; l++ {
+		var layerPlanes []*frame.Plane
+		if perLayer > 0 {
+			layerPlanes = res.Planes[l*perLayer : (l+1)*perLayer]
+		}
+		t, missing := e.dequantLayer(l, layerPlanes, regs)
+		out[l] = t
+		if missing > 0 {
+			report.Damaged = append(report.Damaged, LayerDamage{
+				Layer: l, MissingPlanes: missing, TotalPlanes: perLayer,
+			})
+		}
+	}
+	return out, report, nil
+}

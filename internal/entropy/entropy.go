@@ -15,11 +15,31 @@ import (
 )
 
 // Coder compresses and decompresses byte streams.
+//
+// Decode is the trust boundary: comp may be hostile or damaged, so every
+// implementation returns an error (never panics) on malformed input and
+// validates n before sizing any allocation from it.
 type Coder interface {
 	Name() string
-	Encode(data []byte) []byte
+	// Encode compresses data. Errors are rare (back-end failures) but are
+	// returned rather than panicking so callers on serving paths stay up.
+	Encode(data []byte) ([]byte, error)
 	// Decode inverts Encode; n is the original length.
 	Decode(comp []byte, n int) ([]byte, error)
+}
+
+// MaxDecodeLen caps the output length a Decode call will agree to produce
+// (256 MB). The length is caller-supplied metadata, so without a cap a
+// forged n commits the decoder to an arbitrary allocation before it reads a
+// single compressed byte.
+const MaxDecodeLen = 1 << 28
+
+// checkDecodeLen validates a caller-supplied output length.
+func checkDecodeLen(n int) error {
+	if n < 0 || n > MaxDecodeLen {
+		return fmt.Errorf("entropy: output length %d out of range [0, %d]", n, MaxDecodeLen)
+	}
+	return nil
 }
 
 // All returns the four coders of the baseline grid.
@@ -145,7 +165,7 @@ func canonicalCodes(lengths [256]int) (codes [256]uint32, ok bool) {
 }
 
 // Encode implements Coder.
-func (HuffmanCoder) Encode(data []byte) []byte {
+func (HuffmanCoder) Encode(data []byte) ([]byte, error) {
 	var freq [256]int
 	for _, b := range data {
 		freq[b]++
@@ -162,11 +182,14 @@ func (HuffmanCoder) Encode(data []byte) []byte {
 			w.WriteBits(uint64(codes[b]), uint(lengths[b]))
 		}
 	}
-	return w.Bytes()
+	return w.Bytes(), nil
 }
 
 // Decode implements Coder.
 func (HuffmanCoder) Decode(comp []byte, n int) ([]byte, error) {
+	if err := checkDecodeLen(n); err != nil {
+		return nil, err
+	}
 	r := bits.NewReader(comp)
 	var lengths [256]int
 	for s := 0; s < 256; s++ {
@@ -223,20 +246,29 @@ type DeflateCoder struct{}
 // Name implements Coder.
 func (DeflateCoder) Name() string { return "Deflate" }
 
-// Encode implements Coder.
-func (DeflateCoder) Encode(data []byte) []byte {
+// Encode implements Coder. It returns the back-end's error instead of the
+// historical panic(err), so a failure can never take down a long-running
+// process that merely tried to compress.
+func (DeflateCoder) Encode(data []byte) ([]byte, error) {
 	var buf bytes.Buffer
 	w, err := flate.NewWriter(&buf, flate.BestCompression)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("entropy: deflate init: %w", err)
 	}
-	w.Write(data)
-	w.Close()
-	return buf.Bytes()
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("entropy: deflate write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("entropy: deflate flush: %w", err)
+	}
+	return buf.Bytes(), nil
 }
 
 // Decode implements Coder.
 func (DeflateCoder) Decode(comp []byte, n int) ([]byte, error) {
+	if err := checkDecodeLen(n); err != nil {
+		return nil, err
+	}
 	r := flate.NewReader(bytes.NewReader(comp))
 	defer r.Close()
 	out := make([]byte, 0, n)
@@ -244,6 +276,11 @@ func (DeflateCoder) Decode(comp []byte, n int) ([]byte, error) {
 	for {
 		k, err := r.Read(buf)
 		out = append(out, buf[:k]...)
+		if len(out) > n {
+			// Bomb guard: stop inflating as soon as the output exceeds the
+			// declared length instead of buffering an attacker-chosen blob.
+			return nil, fmt.Errorf("entropy: deflate expands past %d declared bytes", n)
+		}
 		if err == io.EOF {
 			break
 		}
@@ -275,7 +312,7 @@ const (
 func lz4Hash(v uint32) uint32 { return (v * 2654435761) >> (32 - lz4HashBits) }
 
 // Encode implements Coder.
-func (LZ4Coder) Encode(data []byte) []byte {
+func (LZ4Coder) Encode(data []byte) ([]byte, error) {
 	var out []byte
 	var table [1 << lz4HashBits]int
 	for i := range table {
@@ -342,11 +379,14 @@ func (LZ4Coder) Encode(data []byte) []byte {
 	}
 	// Final literal run.
 	emit(len(data), 0, 0)
-	return out
+	return out, nil
 }
 
 // Decode implements Coder.
 func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
+	if err := checkDecodeLen(n); err != nil {
+		return nil, err
+	}
 	out := make([]byte, 0, n)
 	i := 0
 	readLSIC := func(base int) (int, error) {
@@ -394,6 +434,11 @@ func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
 			return nil, err
 		}
 		mlen += lz4MinMatch
+		if mlen > n-len(out) {
+			// Bomb guard: a forged match length cannot commit the decoder
+			// to producing more than the declared n bytes.
+			return nil, fmt.Errorf("entropy: lz4 match of %d overflows %d declared bytes", mlen, n)
+		}
 		src := len(out) - offset
 		for k := 0; k < mlen; k++ {
 			out = append(out, out[src+k])
@@ -416,7 +461,7 @@ type CABACCoder struct{}
 func (CABACCoder) Name() string { return "CABAC" }
 
 // Encode implements Coder.
-func (CABACCoder) Encode(data []byte) []byte {
+func (CABACCoder) Encode(data []byte) ([]byte, error) {
 	enc := cabac.NewEncoder()
 	ctx := newByteContexts()
 	for _, b := range data {
@@ -427,11 +472,14 @@ func (CABACCoder) Encode(data []byte) []byte {
 			node = node<<1 | v
 		}
 	}
-	return enc.Finish()
+	return enc.Finish(), nil
 }
 
 // Decode implements Coder.
 func (CABACCoder) Decode(comp []byte, n int) ([]byte, error) {
+	if err := checkDecodeLen(n); err != nil {
+		return nil, err
+	}
 	dec := cabac.NewDecoder(comp)
 	ctx := newByteContexts()
 	out := make([]byte, n)

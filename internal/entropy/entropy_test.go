@@ -39,7 +39,10 @@ func TestAllCodersRoundTrip(t *testing.T) {
 
 	for _, c := range All() {
 		for k, in := range inputs {
-			comp := c.Encode(in)
+			comp, err := c.Encode(in)
+			if err != nil {
+				t.Fatalf("%s input %d: encode: %v", c.Name(), k, err)
+			}
 			out, err := c.Decode(comp, len(in))
 			if err != nil {
 				t.Fatalf("%s input %d: %v", c.Name(), k, err)
@@ -55,7 +58,10 @@ func TestCodersCompressSkewedData(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	in := skewedData(rng, 1<<16)
 	for _, c := range All() {
-		comp := c.Encode(in)
+		comp, err := c.Encode(in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name(), err)
+		}
 		ratio := float64(len(comp)) / float64(len(in))
 		// LZ4 is match-based, not an entropy coder: on IID symbols it can
 		// only break even (this weakness is exactly why it loses the
@@ -83,8 +89,14 @@ func TestCABACBeatsHuffmanOnSkewedData(t *testing.T) {
 			in[i] = 1
 		}
 	}
-	h := HuffmanCoder{}.Encode(in)
-	c := CABACCoder{}.Encode(in)
+	h, err := HuffmanCoder{}.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CABACCoder{}.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c) >= len(h) {
 		t.Fatalf("CABAC %d bytes should beat Huffman %d bytes", len(c), len(h))
 	}
@@ -92,7 +104,10 @@ func TestCABACBeatsHuffmanOnSkewedData(t *testing.T) {
 
 func TestLZ4FindsRepeats(t *testing.T) {
 	in := bytes.Repeat([]byte("abcdefgh"), 1000)
-	comp := LZ4Coder{}.Encode(in)
+	comp, err := LZ4Coder{}.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(comp) > len(in)/10 {
 		t.Fatalf("LZ4 ratio %.3f on 8-byte repeats", float64(len(comp))/float64(len(in)))
 	}
@@ -119,7 +134,11 @@ func TestRoundTripProperty(t *testing.T) {
 			}
 		}
 		c := coders[int(which)%len(coders)]
-		out, err := c.Decode(c.Encode(in), len(in))
+		comp, err := c.Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := c.Decode(comp, len(in))
 		return err == nil && bytes.Equal(out, in)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -143,7 +162,10 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	in := skewedData(rng, 2048)
 	for _, c := range All() {
-		comp := c.Encode(in)
+		comp, err := c.Encode(in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name(), err)
+		}
 		if len(comp) < 8 {
 			continue
 		}
@@ -160,7 +182,9 @@ func BenchmarkCoders(b *testing.B) {
 		b.Run(c.Name(), func(b *testing.B) {
 			b.SetBytes(int64(len(in)))
 			for i := 0; i < b.N; i++ {
-				c.Encode(in)
+				if _, err := c.Encode(in); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -1,0 +1,47 @@
+package entropy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEntropy drives every entropy coder's Decode with arbitrary compressed
+// bytes and an arbitrary claimed length, and round-trips the raw bytes
+// through Encode→Decode. Invariants: no panic, a successful Decode returns
+// exactly the claimed length, Decode refuses absurd lengths before
+// allocating, and Encode(data) always decodes back to data.
+func FuzzEntropy(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint32(16))
+	f.Add(bytes.Repeat([]byte{0xAB, 0x00, 0xAB}, 40), uint32(120))
+	f.Add([]byte{0xFF, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06}, uint32(1<<15))
+
+	f.Fuzz(func(t *testing.T, data []byte, n uint32) {
+		// Cap the claimed output length so hostile-length trials stay cheap;
+		// the MaxDecodeLen gate is exercised separately below.
+		claim := int(n % (1 << 16))
+		for _, c := range All() {
+			out, err := c.Decode(data, claim)
+			if err == nil && len(out) != claim {
+				t.Fatalf("%s: decoded %d bytes, claimed %d", c.Name(), len(out), claim)
+			}
+
+			comp, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("%s: encode failed on %d bytes: %v", c.Name(), len(data), err)
+			}
+			back, err := c.Decode(comp, len(data))
+			if err != nil {
+				t.Fatalf("%s: round-trip decode failed: %v", c.Name(), err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("%s: round trip differs (%d bytes in)", c.Name(), len(data))
+			}
+
+			// The length gate must reject before any allocation.
+			if _, err := c.Decode(data, MaxDecodeLen+1); err == nil {
+				t.Fatalf("%s: accepted %d-byte claim", c.Name(), MaxDecodeLen+1)
+			}
+		}
+	})
+}

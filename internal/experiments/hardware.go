@@ -108,7 +108,10 @@ func fig14Grid(ctx *Ctx) []fig14Point {
 	for _, q := range qs {
 		mae := quant.MAE(grad, q.rec)
 		for _, coder := range entropy.All() {
-			comp := coder.Encode(q.symbols)
+			comp, err := coder.Encode(q.symbols)
+			if err != nil {
+				panic(err)
+			}
 			bits := float64(len(comp))*8/float64(n) + q.metaBits
 			pts = append(pts, fig14Point{q.name + "+" + coder.Name(), bits, mae})
 		}

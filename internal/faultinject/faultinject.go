@@ -1,0 +1,139 @@
+// Package faultinject provides deterministic corruption sweeps for decode
+// robustness testing: every 1-byte truncation and every single-bit flip of a
+// valid stream is fed to a decoder under a panic trap, and the outcome of
+// each trial is classified.
+//
+// The contract it verifies is the repo-wide decode hardening rule: a decoder
+// handed arbitrary bytes may reject them with an error, or (when no
+// integrity framing exists) accept a silently different result — but it must
+// never panic, whatever the offset of the damage. Checksummed (v3)
+// containers additionally promise zero silent acceptances for payload
+// damage, which the sweeps expose via Result.Silent.
+//
+// Sweeps are exhaustive and deterministic — no randomness — so a failure
+// reproduces from its Fault record alone.
+package faultinject
+
+import "fmt"
+
+// Decoder is the function under test. It receives a corrupted stream and
+// returns nil if it (mistakenly or legitimately) accepts it, or an error if
+// it rejects it. Panics are trapped and recorded by the sweep.
+type Decoder func(data []byte) error
+
+// Fault identifies one corruption trial.
+type Fault struct {
+	Kind   string // "truncate" or "bitflip"
+	Offset int    // truncate: the kept prefix length; bitflip: the byte index
+	Bit    int    // bitflip only: which bit (0 = LSB) was flipped
+	Panic  any    // recovered panic value, when the decoder panicked
+	Err    error  // decoder's error, when it returned one
+}
+
+// String renders the fault compactly for test failure messages.
+func (f Fault) String() string {
+	switch f.Kind {
+	case "truncate":
+		return fmt.Sprintf("truncate[:%d]", f.Offset)
+	case "zerorun":
+		return fmt.Sprintf("zerorun@%d+%d", f.Offset, f.Bit)
+	default:
+		return fmt.Sprintf("bitflip@%d.%d", f.Offset, f.Bit)
+	}
+}
+
+// Result aggregates a sweep.
+type Result struct {
+	Trials   int     // corruption trials executed
+	Rejected int     // trials the decoder rejected with an error (the goal)
+	Silent   []Fault // trials the decoder accepted without error
+	Panics   []Fault // trials that panicked — always a bug
+}
+
+// Clean reports whether the sweep saw no panics.
+func (r *Result) Clean() bool { return len(r.Panics) == 0 }
+
+// run executes one trial under a panic trap.
+func run(dec Decoder, data []byte, f Fault, res *Result) {
+	res.Trials++
+	defer func() {
+		if r := recover(); r != nil {
+			f.Panic = r
+			res.Panics = append(res.Panics, f)
+		}
+	}()
+	if err := dec(data); err != nil {
+		f.Err = err
+		res.Rejected++
+	} else {
+		res.Silent = append(res.Silent, f)
+	}
+}
+
+// TruncationSweep feeds dec every strict prefix of data — data[:0] through
+// data[:len(data)-1] — modelling a transfer cut off at every possible byte.
+// Each prefix is a fresh copy, so decoders that retain or scribble on their
+// input cannot contaminate later trials.
+func TruncationSweep(data []byte, dec Decoder) Result {
+	var res Result
+	for n := 0; n < len(data); n++ {
+		buf := make([]byte, n)
+		copy(buf, data[:n])
+		run(dec, buf, Fault{Kind: "truncate", Offset: n}, &res)
+	}
+	return res
+}
+
+// BitFlipSweep flips every bit of every stride-th byte of data (stride <= 1
+// sweeps every byte — all 8·len(data) single-bit corruptions) and feeds
+// each damaged copy to dec. Deterministic: trial order is byte-major,
+// bit 0 first.
+func BitFlipSweep(data []byte, stride int, dec Decoder) Result {
+	if stride < 1 {
+		stride = 1
+	}
+	var res Result
+	for i := 0; i < len(data); i += stride {
+		for bit := 0; bit < 8; bit++ {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			buf[i] ^= 1 << bit
+			run(dec, buf, Fault{Kind: "bitflip", Offset: i, Bit: bit}, &res)
+		}
+	}
+	return res
+}
+
+// ZeroRunSweep overwrites every aligned window of `width` bytes with zeros
+// (a common DMA/readahead failure shape) and feeds each damaged copy to
+// dec. Windows that were already all-zero are skipped, since they produce
+// the original stream.
+func ZeroRunSweep(data []byte, width int, dec Decoder) Result {
+	if width < 1 {
+		width = 1
+	}
+	var res Result
+	for i := 0; i < len(data); i += width {
+		end := i + width
+		if end > len(data) {
+			end = len(data)
+		}
+		allZero := true
+		for _, b := range data[i:end] {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		for j := i; j < end; j++ {
+			buf[j] = 0
+		}
+		run(dec, buf, Fault{Kind: "zerorun", Offset: i, Bit: end - i}, &res)
+	}
+	return res
+}

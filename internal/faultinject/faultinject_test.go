@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// toyDecoder accepts only the exact 4-byte stream {1,2,3,4}; everything else
+// is rejected. A decoder this strict lets the sweep arithmetic be checked
+// exactly.
+func toyDecoder(data []byte) error {
+	if len(data) == 4 && data[0] == 1 && data[1] == 2 && data[2] == 3 && data[3] == 4 {
+		return nil
+	}
+	return errors.New("reject")
+}
+
+func TestTruncationSweepCounts(t *testing.T) {
+	res := TruncationSweep([]byte{1, 2, 3, 4}, toyDecoder)
+	if res.Trials != 4 {
+		t.Fatalf("trials = %d, want 4 (prefixes [:0]..[:3])", res.Trials)
+	}
+	if res.Rejected != 4 || len(res.Silent) != 0 || !res.Clean() {
+		t.Fatalf("rejected=%d silent=%d panics=%d", res.Rejected, len(res.Silent), len(res.Panics))
+	}
+}
+
+func TestBitFlipSweepCountsAndDeterminism(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	res := BitFlipSweep(data, 1, toyDecoder)
+	if res.Trials != 8*len(data) {
+		t.Fatalf("trials = %d, want %d", res.Trials, 8*len(data))
+	}
+	// Every single-bit flip of the accepted stream must be rejected by the
+	// exact-match decoder.
+	if res.Rejected != res.Trials {
+		t.Fatalf("rejected %d of %d", res.Rejected, res.Trials)
+	}
+	// Stride skips bytes: stride 2 visits bytes 0 and 2 only.
+	res = BitFlipSweep(data, 2, toyDecoder)
+	if res.Trials != 16 {
+		t.Fatalf("stride-2 trials = %d, want 16", res.Trials)
+	}
+}
+
+func TestSweepsCopyInput(t *testing.T) {
+	// A decoder that scribbles on its input must not contaminate later
+	// trials or the caller's buffer.
+	data := []byte{1, 2, 3, 4}
+	scribble := func(b []byte) error {
+		for i := range b {
+			b[i] = 0xFF
+		}
+		return errors.New("reject")
+	}
+	BitFlipSweep(data, 1, scribble)
+	TruncationSweep(data, scribble)
+	if data[0] != 1 || data[3] != 4 {
+		t.Fatalf("sweep let decoder mutate caller's buffer: %v", data)
+	}
+}
+
+func TestPanicsAreTrappedAndRecorded(t *testing.T) {
+	bomb := func(data []byte) error {
+		if len(data) >= 2 && data[1] == 0 {
+			panic("boom")
+		}
+		return errors.New("reject")
+	}
+	res := BitFlipSweep([]byte{1, 2}, 1, bomb)
+	if res.Clean() {
+		t.Fatal("expected recorded panics")
+	}
+	// data[1]=2 (0b10): only flipping bit 1 zeroes the byte → exactly one
+	// panicking trial.
+	if len(res.Panics) != 1 {
+		t.Fatalf("panics = %d, want 1", len(res.Panics))
+	}
+	p := res.Panics[0]
+	if p.Kind != "bitflip" || p.Offset != 1 || p.Bit != 1 || p.Panic != "boom" {
+		t.Fatalf("panic fault = %+v", p)
+	}
+	if !strings.Contains(p.String(), "bitflip@1.1") {
+		t.Fatalf("fault string = %q", p.String())
+	}
+}
+
+func TestSilentAcceptancesAreRecorded(t *testing.T) {
+	acceptAll := func([]byte) error { return nil }
+	res := TruncationSweep([]byte{1, 2, 3}, acceptAll)
+	if len(res.Silent) != 3 || res.Rejected != 0 {
+		t.Fatalf("silent=%d rejected=%d", len(res.Silent), res.Rejected)
+	}
+	if res.Silent[0].String() != "truncate[:0]" {
+		t.Fatalf("fault string = %q", res.Silent[0].String())
+	}
+}
+
+func TestZeroRunSweep(t *testing.T) {
+	// Bytes 0-3 non-zero, bytes 4-7 already zero (window skipped).
+	data := []byte{1, 2, 3, 4, 0, 0, 0, 0, 5}
+	res := ZeroRunSweep(data, 4, toyDecoder)
+	// Windows: [0:4) zeroed, [4:8) skipped (already zero), [8:9) zeroed.
+	if res.Trials != 2 {
+		t.Fatalf("trials = %d, want 2", res.Trials)
+	}
+	if res.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", res.Rejected)
+	}
+}

@@ -61,6 +61,29 @@ func (p *Plane) MSE(q *Plane) float64 {
 	return s / float64(len(p.Pix))
 }
 
+// Region is one rectangle of the FromMatrix band/slab split: the plane with
+// the same index covers the matrix cells [Y0, Y0+H) × [X0, X0+W).
+type Region struct {
+	X0, Y0, W, H int
+}
+
+// Regions returns the deterministic band/slab partition FromMatrix applies
+// to a rows×cols matrix: horizontal bands of maxH rows, bands wider than
+// maxW split into column slabs. Region i corresponds to plane i of
+// FromMatrix's output, which lets callers reassemble (or partially
+// reassemble) a matrix from any subset of its planes.
+func Regions(rows, cols, maxW, maxH int) []Region {
+	var regs []Region
+	for y0 := 0; y0 < rows; y0 += maxH {
+		h := min(maxH, rows-y0)
+		for x0 := 0; x0 < cols; x0 += maxW {
+			w := min(maxW, cols-x0)
+			regs = append(regs, Region{X0: x0, Y0: y0, W: w, H: h})
+		}
+	}
+	return regs
+}
+
 // FromMatrix packs a rows×cols byte matrix (flat, row-major) into one or more
 // planes, each at most maxW×maxH, mirroring how LLM.265 chunks tensors to
 // respect NVENC frame-size limits. Rows are kept contiguous: the matrix is
@@ -94,19 +117,13 @@ func FromMatrix(data []uint8, rows, cols, maxW, maxH int) []*Plane {
 // rows×cols matrix.
 func ToMatrix(planes []*Plane, rows, cols, maxW, maxH int) []uint8 {
 	out := make([]uint8, rows*cols)
-	i := 0
-	for y0 := 0; y0 < rows; y0 += maxH {
-		h := min(maxH, rows-y0)
-		for x0 := 0; x0 < cols; x0 += maxW {
-			w := min(maxW, cols-x0)
-			pl := planes[i]
-			i++
-			if pl.W != w || pl.H != h {
-				panic("frame: ToMatrix plane size mismatch")
-			}
-			for y := 0; y < h; y++ {
-				copy(out[(y0+y)*cols+x0:(y0+y)*cols+x0+w], pl.Row(y))
-			}
+	for i, reg := range Regions(rows, cols, maxW, maxH) {
+		pl := planes[i]
+		if pl.W != reg.W || pl.H != reg.H {
+			panic("frame: ToMatrix plane size mismatch")
+		}
+		for y := 0; y < reg.H; y++ {
+			copy(out[(reg.Y0+y)*cols+reg.X0:(reg.Y0+y)*cols+reg.X0+reg.W], pl.Row(y))
 		}
 	}
 	return out
