@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race ci bench bench-parallel fuzz-smoke
+.PHONY: all build test vet race race-touched ci bench bench-micro bench-parallel fuzz-smoke
 
 all: build
 
@@ -26,9 +26,15 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector run over the full tree; catches any data race in the
-# parallel engine's worker pools.
+# parallel engine's worker pools and in the metrics registry.
 race:
 	$(GO) test -race ./...
+
+# Fast race run over just the concurrency-bearing packages: the parallel
+# engine, the tensor-stack layer that drives it, and the obs registry whose
+# handles are hammered from every worker.
+race-touched:
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/
 
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
@@ -41,8 +47,15 @@ fuzz-smoke:
 
 ci: build vet test race fuzz-smoke
 
-# One pass over every paper-artifact benchmark.
+# The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
+# deterministic synthetic stack with full metrics and writes a
+# BENCH_parallel.json report (throughput, pool utilization, stage and bit
+# breakdowns, full snapshot). See DESIGN.md §10.
 bench:
+	$(GO) run ./cmd/llm265 bench -layers 8 -rows 512 -cols 512 -qp 30 -out BENCH_parallel.json
+
+# One pass over every paper-artifact micro-benchmark (testing.B).
+bench-micro:
 	$(GO) test -bench=. -benchtime=1x
 
 # Serial vs parallel engine throughput on a multi-layer stack.

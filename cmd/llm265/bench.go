@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// benchReport is the BENCH_*.json schema: a named benchmark run with its
+// configuration, headline results, and the full observability snapshot the
+// results were derived from, so regressions can be drilled into without
+// rerunning.
+type benchReport struct {
+	Name      string       `json:"name"`
+	Timestamp string       `json:"timestamp"`
+	GoVersion string       `json:"go_version"`
+	MaxProcs  int          `json:"gomaxprocs"`
+	Config    benchConfig  `json:"config"`
+	Results   benchResults `json:"results"`
+	Metrics   any          `json:"metrics"`
+}
+
+type benchConfig struct {
+	Layers   int    `json:"layers"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	QP       int    `json:"qp"`
+	Workers  int    `json:"workers"`
+	Profile  string `json:"profile"`
+	Checksum bool   `json:"checksum"`
+	Seed     int64  `json:"seed"`
+}
+
+type benchResults struct {
+	EncodeWallNs int64   `json:"encode_wall_ns"`
+	DecodeWallNs int64   `json:"decode_wall_ns"`
+	EncodeMBps   float64 `json:"encode_mbps"` // raw tensor MB/s through encode
+	DecodeMBps   float64 `json:"decode_mbps"`
+	BitsPerValue float64 `json:"bits_per_value"`
+	PixelMSE     float64 `json:"pixel_mse"`
+	ValueMSE     float64 `json:"value_mse"`
+	// Pool utilization = busy worker-ns / (wall ns × pool size); 1.0 means
+	// the pool never idled.
+	EncodePoolUtilization float64 `json:"encode_pool_utilization"`
+	DecodePoolUtilization float64 `json:"decode_pool_utilization"`
+	// StageNs is the per-stage encode time account (summed over chunks) plus
+	// the decode-side container parse.
+	StageNs map[string]int64 `json:"stage_ns"`
+	// BitsBySite splits the emitted stream across syntax sites.
+	BitsBySite map[string]int64 `json:"bits_by_site"`
+	// DecodeErrors is the decode-error taxonomy; all zero on a healthy run.
+	DecodeErrors map[string]int64 `json:"decode_errors"`
+}
+
+// benchCmd runs a deterministic synthetic encode+decode workload with full
+// instrumentation and writes a BENCH_*.json report. The tensor content is
+// seeded, so two runs on the same machine differ only in timing.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		layers   = fs.Int("layers", 8, "synthetic stack depth")
+		rows     = fs.Int("rows", 512, "tensor rows per layer")
+		cols     = fs.Int("cols", 512, "tensor cols per layer")
+		qp       = fs.Int("qp", 30, "quantization parameter")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		profile  = fs.String("profile", "h265", "codec profile: h264|h265|av1")
+		checksum = fs.Bool("checksum", true, "use the checksummed v3 container")
+		seed     = fs.Int64("seed", 265, "workload RNG seed")
+		name     = fs.String("name", "parallel", "benchmark name recorded in the report")
+		out      = fs.String("out", "", "report path (default BENCH_<name>.json, \"-\" = stdout)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *name)
+	}
+
+	stack := syntheticStack(*layers, *rows, *cols, *seed)
+	opts := core.DefaultOptions()
+	opts.Profile = profileByName(*profile)
+	opts.Workers = *workers
+	opts.Checksum = *checksum
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+
+	encStart := time.Now()
+	enc, err := opts.EncodeStack(stack, *qp)
+	if err != nil {
+		fatal(err)
+	}
+	encWall := time.Since(encStart)
+
+	decStart := time.Now()
+	dec, err := opts.DecodeStack(enc)
+	if err != nil {
+		fatal(err)
+	}
+	decWall := time.Since(decStart)
+
+	var mse float64
+	for i := range dec {
+		mse += stack[i].MSE(dec[i])
+	}
+	mse /= float64(len(dec))
+
+	snap := reg.Snapshot()
+	rawMB := float64(*layers**rows**cols) / 1e6 // one byte per sample post-quant
+	rep := benchReport{
+		Name:      *name,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config: benchConfig{
+			Layers: *layers, Rows: *rows, Cols: *cols, QP: *qp,
+			Workers: *workers, Profile: *profile, Checksum: *checksum, Seed: *seed,
+		},
+		Results: benchResults{
+			EncodeWallNs: int64(encWall),
+			DecodeWallNs: int64(decWall),
+			EncodeMBps:   rawMB / encWall.Seconds(),
+			DecodeMBps:   rawMB / decWall.Seconds(),
+			BitsPerValue: enc.BitsPerValue(),
+			PixelMSE:     enc.Stats.MSE,
+			ValueMSE:     mse,
+			EncodePoolUtilization: poolUtilization(snap,
+				"codec.encode.pool.busy_ns", "codec.encode.pool.wall_ns"),
+			DecodePoolUtilization: poolUtilization(snap,
+				"codec.decode.pool.busy_ns", "codec.decode.pool.wall_ns"),
+			StageNs: map[string]int64{
+				"partition":       histSum(snap, "codec.encode.stage.partition_ns"),
+				"intra_search":    histSum(snap, "codec.encode.stage.intra_search_ns"),
+				"transform_quant": histSum(snap, "codec.encode.stage.transform_quant_ns"),
+				"entropy":         histSum(snap, "codec.encode.stage.entropy_ns"),
+				"container":       histSum(snap, "codec.encode.stage.container_ns"),
+				"parse":           histSum(snap, "codec.decode.stage.parse_ns"),
+			},
+			BitsBySite: map[string]int64{
+				"container": snap.Counters["codec.encode.bits.container"],
+				"partition": snap.Counters["codec.encode.bits.partition"],
+				"mode":      snap.Counters["codec.encode.bits.mode"],
+				"residual":  snap.Counters["codec.encode.bits.residual"],
+			},
+			DecodeErrors: map[string]int64{
+				"corrupt":     snap.Counters["codec.decode.errors.corrupt"],
+				"truncated":   snap.Counters["codec.decode.errors.truncated"],
+				"checksum":    snap.Counters["codec.decode.errors.checksum"],
+				"chunks_lost": snap.Counters["codec.decode.partial.chunks_lost"],
+			},
+		},
+		Metrics: snap,
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench %s: encode %.1f MB/s (util %.0f%%), decode %.1f MB/s (util %.0f%%), %.3f bits/value -> %s\n",
+		*name, rep.Results.EncodeMBps, 100*rep.Results.EncodePoolUtilization,
+		rep.Results.DecodeMBps, 100*rep.Results.DecodePoolUtilization,
+		rep.Results.BitsPerValue, *out)
+}
+
+// syntheticStack builds a deterministic stack with the channel-band structure
+// weight tensors exhibit (the workload class the paper's Fig. 4 analyzes):
+// per-row base levels, smooth column drift, mild seeded noise.
+func syntheticStack(layers, rows, cols int, seed int64) []*core.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	stack := make([]*core.Tensor, layers)
+	for l := range stack {
+		data := make([]float32, rows*cols)
+		for r := 0; r < rows; r++ {
+			base := 0.4*math.Sin(float64(r)/5+float64(l)) + 0.1*rng.NormFloat64()
+			for c := 0; c < cols; c++ {
+				v := base + 0.15*math.Sin(float64(c)/9) + 0.02*rng.NormFloat64()
+				data[r*cols+c] = float32(v)
+			}
+		}
+		stack[l] = core.FromSlice(rows, cols, data)
+	}
+	return stack
+}
+
+func histSum(s *obs.Snapshot, name string) int64 {
+	return s.Histograms[name].Sum
+}
+
+func poolUtilization(s *obs.Snapshot, busy, wall string) float64 {
+	w := s.Counters[wall]
+	if w == 0 {
+		return 0
+	}
+	return float64(s.Counters[busy]) / float64(w)
+}

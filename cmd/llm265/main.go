@@ -15,6 +15,12 @@
 //	3  corrupt (structural damage — alert, the producer is buggy or hostile)
 //	4  truncated (stream ends early — retry the transfer)
 //	5  checksum mismatch (bit-rot in transit or at rest — refetch)
+//
+// encode, decode and verify accept -metrics <file> to dump the full
+// observability snapshot (per-stage timings, bit accounting, worker-pool
+// utilization, decode-error taxonomy — DESIGN.md §10) as JSON; "-" writes to
+// stdout. The bench subcommand runs a deterministic synthetic workload and
+// emits a BENCH_*.json-compatible report built from the same metrics.
 package main
 
 import (
@@ -22,11 +28,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,14 +50,40 @@ func main() {
 		infoCmd(os.Args[2:])
 	case "verify":
 		verifyCmd(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify [flags]")
+	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|bench [flags]")
 	os.Exit(2)
+}
+
+// openMetrics interprets a -metrics flag value: "" disables collection (nil
+// registry, no-op flush), any other value enables it and flush writes the
+// JSON snapshot there ("-" = stdout).
+func openMetrics(path string) (*obs.Registry, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	reg := obs.NewRegistry()
+	return reg, func() {
+		var w io.Writer = os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {
@@ -84,6 +118,7 @@ func encodeCmd(args []string) {
 		perRow   = fs.Bool("perrow", false, "per-row 8-bit mapping (outlier-heavy tensors)")
 		workers  = fs.Int("workers", 0, "encode worker pool size (0 = GOMAXPROCS); output bytes are identical for any value")
 		checksum = fs.Bool("checksum", false, "emit the hardened v3 container: CRC32C on header and every chunk, verified on decode")
+		metrics  = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" || *rows <= 0 || *cols <= 0 {
@@ -107,6 +142,8 @@ func encodeCmd(args []string) {
 	opts.PerRowQuant = *perRow
 	opts.Workers = *workers
 	opts.Checksum = *checksum
+	reg, flush := openMetrics(*metrics)
+	opts.Metrics = reg
 
 	var enc *core.Encoded
 	switch {
@@ -125,6 +162,7 @@ func encodeCmd(args []string) {
 	if err := os.WriteFile(*out, enc.Marshal(), 0o644); err != nil {
 		fatal(err)
 	}
+	flush()
 	fmt.Printf("encoded %dx%d at %.3f bits/value (QP %d, pixel MSE %.3f, %d chunk(s)) -> %s (%.1fx vs FP16)\n",
 		*rows, *cols, enc.BitsPerValue(), enc.QP, enc.Stats.MSE, enc.Stats.Chunks, *out, 16/enc.BitsPerValue())
 }
@@ -135,6 +173,7 @@ func decodeCmd(args []string) {
 		in      = fs.String("in", "", "input .l265 container")
 		out     = fs.String("out", "", "output float32 file")
 		workers = fs.Int("workers", 0, "decode worker pool size (0 = GOMAXPROCS)")
+		metrics = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -150,6 +189,8 @@ func decodeCmd(args []string) {
 	}
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	reg, flush := openMetrics(*metrics)
+	opts.Metrics = reg
 	t, err := opts.Decode(enc)
 	if err != nil {
 		fatal(err)
@@ -161,6 +202,7 @@ func decodeCmd(args []string) {
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		fatal(err)
 	}
+	flush()
 	fmt.Printf("decoded %dx%d -> %s\n", t.Rows, t.Cols, *out)
 }
 
@@ -206,6 +248,7 @@ func verifyCmd(args []string) {
 		in      = fs.String("in", "", "input .l265 container")
 		workers = fs.Int("workers", 0, "decode worker pool size (0 = GOMAXPROCS)")
 		partial = fs.Bool("partial", false, "on damage, also report which chunks/layers are still recoverable")
+		metrics = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	fs.Parse(args)
 	if *in == "" {
@@ -217,6 +260,8 @@ func verifyCmd(args []string) {
 	}
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	reg, flush := openMetrics(*metrics)
+	opts.Metrics = reg
 
 	verdict := func(err error) {
 		code := exitCorrupt
@@ -226,6 +271,7 @@ func verifyCmd(args []string) {
 		case errors.Is(err, core.ErrTruncated):
 			code = exitTruncated
 		}
+		flush()
 		fmt.Printf("%s: DAMAGED: %v\n", *in, err)
 		os.Exit(code)
 	}
@@ -238,6 +284,7 @@ func verifyCmd(args []string) {
 		if _, err := opts.DecodeStack(enc); err != nil {
 			verdict(err)
 		}
+		flush()
 		fmt.Printf("%s: OK (%d layer(s) of %dx%d, %.3f bits/value)\n",
 			*in, enc.Layers, enc.Rows, enc.Cols, enc.BitsPerValue())
 		return
@@ -247,6 +294,7 @@ func verifyCmd(args []string) {
 	if err != nil {
 		verdict(err)
 	}
+	flush()
 	if report.Complete() {
 		fmt.Printf("%s: OK (%d chunk(s), %d plane(s))\n", *in, report.Chunks, report.TotalPlanes)
 		return

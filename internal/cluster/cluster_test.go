@@ -112,9 +112,34 @@ func TestScaleModel(t *testing.T) {
 	if big.Params != 70e9 || big.Hidden <= LLaMA7B.Hidden || big.Layers <= LLaMA7B.Layers {
 		t.Fatalf("scaling wrong: %+v", big)
 	}
-	f := math.Sqrt(70e9 / LLaMA7B.Params)
-	if math.Abs(float64(big.Hidden)-float64(LLaMA7B.Hidden)*f) > 1 {
-		t.Fatalf("hidden scaling off: %d", big.Hidden)
+	// Params ∝ Layers·Hidden², so both dims grow by the cube root of the
+	// parameter ratio (the old √-scaling overshot by ratio^0.5).
+	f := math.Cbrt(70e9 / LLaMA7B.Params)
+	if math.Abs(float64(big.Hidden)-float64(LLaMA7B.Hidden)*f) > float64(LLaMA7B.Heads) {
+		t.Fatalf("hidden scaling off: %d, want ≈%.0f", big.Hidden, float64(LLaMA7B.Hidden)*f)
+	}
+	if big.Hidden%LLaMA7B.Heads != 0 {
+		t.Fatalf("hidden %d not a multiple of %d heads", big.Hidden, LLaMA7B.Heads)
+	}
+}
+
+// TestScaleModelHitsTargetParams pins the scaling bug: the derived geometry
+// must imply a parameter count within 1% of the requested target under the
+// Layers·Hidden² law. The old √-scaling produced a 7B→70B config whose
+// implied size was ~10× the target.
+func TestScaleModelHitsTargetParams(t *testing.T) {
+	base := LLaMA7B
+	perUnit := base.Params / (float64(base.Layers) * float64(base.Hidden) * float64(base.Hidden))
+	for _, target := range []float64{13e9, 34e9, 70e9, 175e9, 400e9} {
+		m := ScaleModel(base, target)
+		implied := perUnit * float64(m.Layers) * float64(m.Hidden) * float64(m.Hidden)
+		if rel := math.Abs(implied-target) / target; rel > 0.01 {
+			t.Fatalf("target %.0fB: geometry L=%d H=%d implies %.2fB (%.1f%% off)",
+				target/1e9, m.Layers, m.Hidden, implied/1e9, rel*100)
+		}
+		if m.Hidden%base.Heads != 0 {
+			t.Fatalf("target %.0fB: hidden %d not head-aligned", target/1e9, m.Hidden)
+		}
 	}
 }
 

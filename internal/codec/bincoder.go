@@ -13,6 +13,11 @@ type binEncoder interface {
 	bypass(bin int)
 	bypassBits(v uint32, n uint)
 	finish() []byte
+	// bitLen reports the bits emitted so far (CABAC: including bits still
+	// buffered in the arithmetic engine, so deltas telescope exactly even
+	// though individual attributions are byte-granular). Used by the
+	// observability layer to split the stream into per-stage bit accounts.
+	bitLen() int
 }
 
 type binDecoder interface {
@@ -27,6 +32,7 @@ func (c cabacBinEnc) bit(ctx *cabac.Context, bin int) { c.e.EncodeBit(ctx, bin) 
 func (c cabacBinEnc) bypass(bin int)                  { c.e.EncodeBypass(bin) }
 func (c cabacBinEnc) bypassBits(v uint32, n uint)     { c.e.EncodeBypassBits(v, n) }
 func (c cabacBinEnc) finish() []byte                  { return c.e.Finish() }
+func (c cabacBinEnc) bitLen() int                     { return c.e.BitLenEstimate() }
 
 type cabacBinDec struct{ d *cabac.Decoder }
 
@@ -40,6 +46,7 @@ func (r rawBinEnc) bit(_ *cabac.Context, bin int) { r.w.WriteBit(bin) }
 func (r rawBinEnc) bypass(bin int)                { r.w.WriteBit(bin) }
 func (r rawBinEnc) bypassBits(v uint32, n uint)   { r.w.WriteBits(uint64(v), n) }
 func (r rawBinEnc) finish() []byte                { return r.w.Bytes() }
+func (r rawBinEnc) bitLen() int                   { return r.w.BitLen() }
 
 type rawBinDec struct{ r *bits.Reader }
 

@@ -45,17 +45,7 @@ func Decode(data []byte) ([]*frame.Plane, error) {
 // DecodeWorkers never panics on hostile input: every failure is a typed
 // error matching ErrCorrupt, ErrTruncated or ErrChecksum under errors.Is.
 func DecodeWorkers(data []byte, workers int) ([]*frame.Plane, error) {
-	if err := checkPreamble(data); err != nil {
-		return nil, err
-	}
-	switch data[4] {
-	case 1:
-		return decodeV1(data)
-	case versionChunked, versionChecksummed:
-		return decodeChunked(data, workers)
-	default:
-		return nil, corruptf("codec: unsupported version %d", data[4])
-	}
+	return decodeDispatch(data, workers, nil)
 }
 
 // checkPreamble validates the fixed 8-byte preamble plus the minimum header

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/cabac"
@@ -49,6 +50,11 @@ type encoder struct {
 	dst4       *dct.Transform
 
 	prevModeEmit intra.Mode // mode predictor state for emission
+
+	// rec accumulates per-stage times and bit accounts for this chunk when
+	// observability is enabled; nil (the default) keeps the hot path free of
+	// clock reads and bit-length queries.
+	rec *stageRecorder
 }
 
 // Encode compresses planes at the given QP with the selected profile and
@@ -57,8 +63,27 @@ type encoder struct {
 // version-1 container; see EncodeParallel for the chunked multi-substream
 // engine.
 func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, Stats, error) {
+	return encodeSerial(planes, qp, prof, tools, nil)
+}
+
+// encodeSerial is the observable core of Encode: one shared-context
+// substream in the version-1 container.
+func encodeSerial(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof); err != nil {
 		return nil, Stats{}, err
+	}
+	var chunkStart time.Time
+	if m != nil {
+		chunkStart = time.Now()
+	}
+	payload, recs := encodeChunk(planes, qp, prof, tools, m)
+	if m != nil {
+		m.chunkNs.ObserveSince(chunkStart)
+	}
+
+	var tContainer time.Time
+	if m != nil {
+		tContainer = time.Now()
 	}
 	var head bytes.Buffer
 	head.Write(magic[:])
@@ -73,13 +98,15 @@ func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, S
 		binary.Write(&head, binary.BigEndian, uint32(p.W))
 		binary.Write(&head, binary.BigEndian, uint32(p.H))
 	}
-
-	payload, recs := encodeChunk(planes, qp, prof, tools)
 	binary.Write(&head, binary.BigEndian, uint32(len(payload)))
 	out := append(head.Bytes(), payload...)
 
 	st := computeStats(planes, recs, len(out)*8)
 	st.Chunks = 1
+	if m != nil {
+		m.stageContainer.ObserveSince(tContainer)
+		m.recordEncodeTotals(st, len(out), len(payload), len(planes))
+	}
 	return out, st, nil
 }
 
@@ -104,8 +131,10 @@ func validateEncode(planes []*frame.Plane, qp int, prof Profile) error {
 // entropy contexts, fresh mode predictor, inter prediction (if enabled)
 // confined to the group — and returns the raw entropy payload plus the
 // per-plane reconstructions (cropped to source dims). Each call owns all of
-// its encoder state, so distinct chunks may be encoded concurrently.
-func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, []*frame.Plane) {
+// its encoder state, so distinct chunks may be encoded concurrently; the
+// per-chunk stage recorder is equally private and flushes into the shared
+// atomic metric handles only at the end of the call.
+func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics) ([]byte, []*frame.Plane) {
 	e := &encoder{
 		prof:       prof,
 		tools:      tools,
@@ -114,6 +143,9 @@ func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]by
 		lambda:     0.12 * dct.Qstep(qp) * dct.Qstep(qp),
 		transforms: map[int]*dct.Transform{},
 		dst4:       dct.NewDST4(),
+	}
+	if m != nil {
+		e.rec = &stageRecorder{m: m}
 	}
 	for _, n := range []int{4, 8, 16, 32} {
 		if n <= prof.MaxTransform {
@@ -131,7 +163,11 @@ func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]by
 		e.encodeFrame(p)
 		recs[i] = e.recon
 	}
-	return e.bw.finish(), recs
+	out := e.bw.finish()
+	if e.rec != nil {
+		e.rec.flush()
+	}
+	return out, recs
 }
 
 // computeStats aggregates size and distortion over the source planes and
@@ -191,6 +227,15 @@ func (e *encoder) encodeFrame(src *frame.Plane) {
 
 	for y := 0; y < e.h; y += e.prof.CTUSize {
 		for x := 0; x < e.w; x += e.prof.CTUSize {
+			if e.rec != nil {
+				t0 := time.Now()
+				d := e.decideCU(x, y, e.prof.CTUSize, 0)
+				t1 := time.Now()
+				e.rec.decideNs += int64(t1.Sub(t0))
+				e.emitCU(d, x, y, e.prof.CTUSize, 0)
+				e.rec.entropyNs += int64(time.Since(t1))
+				continue
+			}
 			d := e.decideCU(x, y, e.prof.CTUSize, 0)
 			e.emitCU(d, x, y, e.prof.CTUSize, 0)
 		}
@@ -476,6 +521,10 @@ func (e *encoder) decideLeaf(x, y, size int) *cuDec {
 	}
 
 	if e.tools.IntraPred {
+		var tIntra time.Time
+		if e.rec != nil {
+			tIntra = time.Now()
+		}
 		refs := e.gatherRefs(x, y, size)
 		// Rank all modes by SAD, full-RD the top few plus Planar and DC.
 		type cand struct {
@@ -503,6 +552,12 @@ func (e *encoder) decideLeaf(x, y, size int) *cuDec {
 			cands = append(cands, cand{m, sad})
 		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].sad < cands[j].sad })
+		if e.rec != nil {
+			// The SAD ranking (prediction of every profile mode) is the
+			// intra-search share; the full-RD trials below charge their
+			// transform+quant work to the transform stage on their own.
+			e.rec.intraNs += int64(time.Since(tIntra))
+		}
 		// Full RD on the top SAD candidates only; Planar and DC compete in
 		// the SAD ranking like every other mode.
 		for i := 0; i < len(cands) && i < 3; i++ {
@@ -569,6 +624,10 @@ func absInt32(v int32) int32 {
 // trialResidual transforms, quantizes and reconstructs the residual,
 // returning the levels, the SSE distortion and an estimated rate in bits.
 func (e *encoder) trialResidual(orig, pred []int32, size int, isIntra bool) ([]int32, float64, float64) {
+	var t0 time.Time
+	if e.rec != nil {
+		t0 = time.Now()
+	}
 	n2 := size * size
 	res := make([]int32, n2)
 	for i := range res {
@@ -588,6 +647,9 @@ func (e *encoder) trialResidual(orig, pred []int32, size int, isIntra bool) ([]i
 	for i := range orig {
 		d := float64(orig[i] - rec[i])
 		sse += d * d
+	}
+	if e.rec != nil {
+		e.rec.xformNs += int64(time.Since(t0))
 	}
 	return lev, sse, estimateLevelBits(lev, size, e.tools.Transform)
 }
@@ -705,7 +767,13 @@ func (e *encoder) emitCU(d *cuDec, x, y, size, depth int) {
 		if d.split {
 			b = 1
 		}
-		e.bw.bit(&e.ctx.split[min(depth, len(e.ctx.split)-1)], b)
+		if e.rec != nil {
+			b0 := e.bw.bitLen()
+			e.bw.bit(&e.ctx.split[min(depth, len(e.ctx.split)-1)], b)
+			e.rec.bitsPartition += int64(e.bw.bitLen() - b0)
+		} else {
+			e.bw.bit(&e.ctx.split[min(depth, len(e.ctx.split)-1)], b)
+		}
 	case splitLeafOnly:
 		// no flag, leaf guaranteed
 	}
@@ -720,6 +788,10 @@ func (e *encoder) emitCU(d *cuDec, x, y, size, depth int) {
 }
 
 func (e *encoder) emitLeaf(d *cuDec, size int) {
+	var b0 int
+	if e.rec != nil {
+		b0 = e.bw.bitLen()
+	}
 	if e.tools.InterPred && e.fIdx > 0 {
 		b := 0
 		if d.inter {
@@ -741,6 +813,13 @@ func (e *encoder) emitLeaf(d *cuDec, size int) {
 			e.bw.bypassBits(uint32(idx), modeIdxBits(len(e.prof.Modes)))
 		}
 		e.prevModeEmit = d.mode
+	}
+	if e.rec != nil {
+		b1 := e.bw.bitLen()
+		e.rec.bitsMode += int64(b1 - b0)
+		e.emitResidual(d.levels, size, e.tools.Transform)
+		e.rec.bitsResidual += int64(e.bw.bitLen() - b1)
+		return
 	}
 	e.emitResidual(d.levels, size, e.tools.Transform)
 }

@@ -50,6 +50,7 @@ import (
 	"hash/crc32"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/frame"
 )
@@ -117,17 +118,39 @@ func chunkSpans(planes []*frame.Plane, tools Tools) [][2]int {
 
 // encodeChunksParallel encodes each span as an independent substream on a
 // pool of `workers` goroutines, returning per-chunk payloads and per-chunk
-// reconstructions in span order.
-func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int) ([][]byte, [][]*frame.Plane) {
+// reconstructions in span order. When metrics are enabled it additionally
+// records per-chunk makespans, pool busy/wall time (utilization =
+// busy/wall) and tags each worker goroutine with pprof labels.
+func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([][]byte, [][]*frame.Plane) {
 	payloads := make([][]byte, len(spans))
 	recs := make([][]*frame.Plane, len(spans))
 	workers = normalizeWorkers(workers)
 	if workers > len(spans) {
 		workers = len(spans)
 	}
+	var wallStart time.Time
+	if m != nil {
+		wallStart = time.Now()
+		m.poolWorkers.Observe(int64(workers))
+	}
+	encodeOne := func(i int) {
+		s := spans[i]
+		if m != nil {
+			t0 := time.Now()
+			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, m)
+			m.chunkNs.ObserveSince(t0)
+			return
+		}
+		payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, nil)
+	}
 	if workers == 1 {
-		for i, s := range spans {
-			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
+		for i := range spans {
+			encodeOne(i)
+		}
+		if m != nil {
+			wall := int64(time.Since(wallStart))
+			m.poolBusy.Add(wall)
+			m.poolWall.Add(wall)
 		}
 		return payloads, recs
 	}
@@ -135,19 +158,34 @@ func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Pr
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range jobs {
-				s := spans[i]
-				payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools)
+			work := func() {
+				var busy int64
+				for i := range jobs {
+					t0 := time.Now()
+					encodeOne(i)
+					busy += int64(time.Since(t0))
+				}
+				if m != nil {
+					m.poolBusy.Add(busy)
+				}
 			}
-		}()
+			if m != nil {
+				workerLabels("encode", w, work)
+			} else {
+				work()
+			}
+		}(w)
 	}
 	for i := range spans {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	if m != nil {
+		m.poolWall.Add(int64(time.Since(wallStart)) * int64(workers))
+	}
 	return payloads, recs
 }
 
@@ -176,6 +214,11 @@ func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, 
 // substreams are stitched in chunk order, so the output is byte-identical
 // for every worker count.
 func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int) ([]byte, Stats, error) {
+	return encodeParallel(planes, qp, prof, tools, workers, nil)
+}
+
+// encodeParallel is the observable core of EncodeParallel.
+func encodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof); err != nil {
 		return nil, Stats{}, err
 	}
@@ -186,18 +229,24 @@ func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 		// shared-context substream, 4-byte length prefix instead of a chunk
 		// table). This keeps small workloads bit-compatible with historical
 		// streams and free of chunking overhead.
-		return Encode(planes, qp, prof, tools)
+		return encodeSerial(planes, qp, prof, tools, m)
 	}
-	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers)
+	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers, m)
 
+	var tContainer time.Time
+	if m != nil {
+		tContainer = time.Now()
+	}
 	var head bytes.Buffer
 	writeCommonHeader(&head, versionChunked, planes, qp, prof, tools)
 	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
 	total := head.Len()
+	payloadLen := 0
 	for i, s := range spans {
 		binary.Write(&head, binary.BigEndian, uint32(s[1]-s[0]))
 		binary.Write(&head, binary.BigEndian, uint32(len(payloads[i])))
 		total += 8 + len(payloads[i])
+		payloadLen += len(payloads[i])
 	}
 	out := make([]byte, 0, total)
 	out = append(out, head.Bytes()...)
@@ -206,6 +255,10 @@ func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 	}
 
 	st := statsFromChunks(planes, recs, len(out)*8, len(spans))
+	if m != nil {
+		m.stageContainer.ObserveSince(tContainer)
+		m.recordEncodeTotals(st, len(out), payloadLen, len(planes))
+	}
 	return out, st, nil
 }
 
@@ -217,21 +270,32 @@ func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 // because integrity framing is the point. Output bytes are identical for
 // every worker count.
 func EncodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int) ([]byte, Stats, error) {
+	return encodeChecksummed(planes, qp, prof, tools, workers, nil)
+}
+
+// encodeChecksummed is the observable core of EncodeChecksummed.
+func encodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof); err != nil {
 		return nil, Stats{}, err
 	}
 	spans := chunkSpans(planes, tools)
-	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers)
+	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers, m)
 
+	var tContainer time.Time
+	if m != nil {
+		tContainer = time.Now()
+	}
 	var head bytes.Buffer
 	writeCommonHeader(&head, versionChecksummed, planes, qp, prof, tools)
 	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
 	total := head.Len() + 4 // + trailing header CRC
+	payloadLen := 0
 	for i, s := range spans {
 		binary.Write(&head, binary.BigEndian, uint32(s[1]-s[0]))
 		binary.Write(&head, binary.BigEndian, uint32(len(payloads[i])))
 		binary.Write(&head, binary.BigEndian, crc32.Checksum(payloads[i], crcTable))
 		total += 12 + len(payloads[i])
+		payloadLen += len(payloads[i])
 	}
 	binary.Write(&head, binary.BigEndian, crc32.Checksum(head.Bytes(), crcTable))
 	out := make([]byte, 0, total)
@@ -241,6 +305,10 @@ func EncodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools,
 	}
 
 	st := statsFromChunks(planes, recs, len(out)*8, len(spans))
+	if m != nil {
+		m.stageContainer.ObserveSince(tContainer)
+		m.recordEncodeTotals(st, len(out), payloadLen, len(planes))
+	}
 	return out, st, nil
 }
 
@@ -425,17 +493,27 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 
 // decodeChunks decodes every usable chunk of a parsed container on a pool
 // of `workers` goroutines. Failed chunks leave nil planes and produce a
-// ChunkError; recovered planes land at their container positions.
-func decodeChunks(pc *parsedContainer, workers int) ([]*frame.Plane, []ChunkError) {
+// ChunkError; recovered planes land at their container positions. With
+// metrics enabled it records per-chunk decode times, pool busy/wall time
+// and pprof worker labels, mirroring the encode pool.
+func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Plane, []ChunkError) {
 	planes := make([]*frame.Plane, len(pc.dims))
 	errs := make([]error, len(pc.chunks))
 	decodeOne := func(i int) {
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		c := &pc.chunks[i]
 		if c.err != nil {
 			errs[i] = c.err
 			return
 		}
 		ps, err := decodeChunkPayload(c.payload, c.dims, pc.prof, pc.tools, pc.qp)
+		if m != nil {
+			m.chunkNs.ObserveSince(t0)
+			m.chunks.Inc()
+		}
 		if err != nil {
 			errs[i] = err
 			return
@@ -447,27 +525,53 @@ func decodeChunks(pc *parsedContainer, workers int) ([]*frame.Plane, []ChunkErro
 	if workers > len(pc.chunks) {
 		workers = len(pc.chunks)
 	}
+	var wallStart time.Time
+	if m != nil {
+		wallStart = time.Now()
+		m.poolWorkers.Observe(int64(workers))
+	}
 	if workers == 1 {
 		for i := range pc.chunks {
 			decodeOne(i)
+		}
+		if m != nil {
+			wall := int64(time.Since(wallStart))
+			m.poolBusy.Add(wall)
+			m.poolWall.Add(wall)
 		}
 	} else {
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				for i := range jobs {
-					decodeOne(i)
+				work := func() {
+					var busy int64
+					for i := range jobs {
+						t0 := time.Now()
+						decodeOne(i)
+						busy += int64(time.Since(t0))
+					}
+					if m != nil {
+						m.poolBusy.Add(busy)
+					}
 				}
-			}()
+				if m != nil {
+					workerLabels("decode", w, work)
+				} else {
+					work()
+				}
+			}(w)
 		}
 		for i := range pc.chunks {
 			jobs <- i
 		}
 		close(jobs)
 		wg.Wait()
+		if m != nil {
+			m.poolWall.Add(int64(time.Since(wallStart)) * int64(workers))
+		}
 	}
 
 	var chunkErrs []ChunkError
@@ -486,25 +590,64 @@ func decodeChunks(pc *parsedContainer, workers int) ([]*frame.Plane, []ChunkErro
 
 // decodeV1 parses the legacy single-substream container (kept as the
 // fast path for Decode on version-1 data; also exercised via DecodeWorkers).
-func decodeV1(data []byte) ([]*frame.Plane, error) {
-	pc, err := parseContainer(data, false)
+func decodeV1(data []byte, m *decMetrics) ([]*frame.Plane, error) {
+	pc, err := parseContainerObs(data, false, m)
 	if err != nil {
 		return nil, err
 	}
-	return decodeChunkPayload(pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp)
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	planes, err := decodeChunkPayload(pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp)
+	if m != nil {
+		m.chunkNs.ObserveSince(t0)
+		m.chunks.Inc()
+	}
+	return planes, err
 }
 
 // decodeChunked parses a version-2 or version-3 container and decodes its
 // substreams concurrently on a pool of `workers` goroutines, failing on the
 // first defective chunk.
-func decodeChunked(data []byte, workers int) ([]*frame.Plane, error) {
-	pc, err := parseContainer(data, false)
+func decodeChunked(data []byte, workers int, m *decMetrics) ([]*frame.Plane, error) {
+	pc, err := parseContainerObs(data, false, m)
 	if err != nil {
 		return nil, err
 	}
-	planes, chunkErrs := decodeChunks(pc, workers)
+	planes, chunkErrs := decodeChunks(pc, workers, m)
 	if len(chunkErrs) > 0 {
 		return nil, chunkErrs[0]
 	}
 	return planes, nil
+}
+
+// parseContainerObs is parseContainer with the container-parse stage timed.
+func parseContainerObs(data []byte, lenient bool, m *decMetrics) (*parsedContainer, error) {
+	if m == nil {
+		return parseContainer(data, lenient)
+	}
+	t0 := time.Now()
+	pc, err := parseContainer(data, lenient)
+	m.stageParse.ObserveSince(t0)
+	return pc, err
+}
+
+// decodeDispatch routes a container of any version to its decoder; shared
+// by Decode, DecodeWorkers and their Obs twins.
+func decodeDispatch(data []byte, workers int, m *decMetrics) ([]*frame.Plane, error) {
+	if err := checkPreamble(data); err != nil {
+		return nil, err
+	}
+	if m != nil {
+		m.calls.Inc()
+	}
+	switch data[4] {
+	case 1:
+		return decodeV1(data, m)
+	case versionChunked, versionChecksummed:
+		return decodeChunked(data, workers, m)
+	default:
+		return nil, corruptf("codec: unsupported version %d", data[4])
+	}
 }

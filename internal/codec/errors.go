@@ -30,6 +30,13 @@ var (
 	ErrChecksum = errors.New("codec: checksum mismatch")
 )
 
+// ErrEmptyInput reports an encode request over zero pixels — an empty plane
+// list, a nil plane, or a plane with a zero dimension. Rate-control searches
+// reject such inputs up front: bits-per-pixel is undefined at zero pixels
+// (0/0 → NaN), which would otherwise silently break the bisection's
+// comparison logic.
+var ErrEmptyInput = errors.New("codec: empty input")
+
 // errMalformed is the legacy name for a structural violation; kept as an
 // alias so older call sites and tests keep matching.
 var errMalformed = ErrCorrupt

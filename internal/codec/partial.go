@@ -65,10 +65,18 @@ func (r *PartialResult) Recovered() int {
 // CRC-failing header, impossible chunk table. Like DecodeWorkers it never
 // panics on hostile input.
 func DecodePartial(data []byte, workers int) (*PartialResult, error) {
-	pc, err := parseContainer(data, true)
+	return decodePartial(data, workers, nil)
+}
+
+// decodePartial is the observable core of DecodePartial.
+func decodePartial(data []byte, workers int, m *decMetrics) (*PartialResult, error) {
+	pc, err := parseContainerObs(data, true, m)
 	if err != nil {
 		return nil, err
 	}
-	planes, chunkErrs := decodeChunks(pc, workers)
+	if m != nil {
+		m.calls.Inc()
+	}
+	planes, chunkErrs := decodeChunks(pc, workers, m)
 	return &PartialResult{Planes: planes, Chunks: len(pc.chunks), Errors: chunkErrs}, nil
 }

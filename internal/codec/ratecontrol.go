@@ -8,34 +8,93 @@ import (
 	"repro/internal/frame"
 )
 
+// validateRCInput rejects rate-control inputs whose bits-per-pixel and MSE
+// are undefined: an empty plane list, a nil plane, or a plane with a zero
+// dimension. Without this gate, Stats.BitsPerPixel is 0/0 = NaN and every
+// bisection comparison is false, so the search silently walks to one end of
+// the QP range instead of failing loudly.
+func validateRCInput(planes []*frame.Plane) error {
+	if len(planes) == 0 {
+		return fmt.Errorf("codec: no planes to encode: %w", ErrEmptyInput)
+	}
+	for i, p := range planes {
+		if p == nil {
+			return fmt.Errorf("codec: plane %d is nil: %w", i, ErrEmptyInput)
+		}
+		if p.W <= 0 || p.H <= 0 {
+			return fmt.Errorf("codec: plane %d is %dx%d: %w", i, p.W, p.H, ErrEmptyInput)
+		}
+	}
+	return nil
+}
+
+// rcProbe is one memoized rate-control probe encode.
+type rcProbe struct {
+	data []byte
+	st   Stats
+}
+
+// rcProber memoizes Encode calls by QP so a bisection (including its
+// fallback re-encode at the range edge) never encodes the same QP twice.
+// Encoding is deterministic, so the cache is exact, not approximate.
+type rcProber struct {
+	planes []*frame.Plane
+	prof   Profile
+	tools  Tools
+	cache  map[int]rcProbe
+	probes int // actual encodes performed (cache misses)
+}
+
+func (p *rcProber) encode(qp int) (rcProbe, error) {
+	if pr, ok := p.cache[qp]; ok {
+		return pr, nil
+	}
+	data, st, err := Encode(p.planes, qp, p.prof, p.tools)
+	if err != nil {
+		return rcProbe{}, err
+	}
+	pr := rcProbe{data: data, st: st}
+	p.cache[qp] = pr
+	p.probes++
+	return pr, nil
+}
+
 // EncodeToBitrate searches QP so the encoded size lands at or under
 // targetBPP (bits per pixel), as close to it as possible. This implements
 // the paper's fractional-bitrate control (§4.1): the codec accepts arbitrary
 // non-integer budgets like 2.3 bits/value.
 //
 // BPP is monotonically non-increasing in QP, so a bisection over the QP range
-// suffices. Returns the bitstream, its stats and the chosen QP.
+// suffices. Probe encodes are memoized by QP, so no QP is ever encoded twice
+// within one call. Returns the bitstream, its stats and the chosen QP.
+//
+// Inputs with zero pixels (empty plane list, nil plane, zero-dimension
+// plane) are rejected with an error matching ErrEmptyInput: bits-per-pixel
+// is undefined there and the bisection would otherwise compare against NaN.
 func EncodeToBitrate(planes []*frame.Plane, targetBPP float64, prof Profile, tools Tools) ([]byte, Stats, int, error) {
 	if targetBPP <= 0 {
 		return nil, Stats{}, 0, fmt.Errorf("codec: target bitrate %.3f must be positive", targetBPP)
 	}
+	if err := validateRCInput(planes); err != nil {
+		return nil, Stats{}, 0, err
+	}
+	prober := &rcProber{planes: planes, prof: prof, tools: tools, cache: map[int]rcProbe{}}
 	lo, hi := 0, dct.MaxQP
 	var (
-		bestData []byte
-		bestSt   Stats
-		bestQP   = -1
+		best   rcProbe
+		bestQP = -1
 	)
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		data, st, err := Encode(planes, mid, prof, tools)
+		pr, err := prober.encode(mid)
 		if err != nil {
 			return nil, Stats{}, 0, err
 		}
-		if st.BitsPerPixel <= targetBPP {
+		if pr.st.BitsPerPixel <= targetBPP {
 			// Feasible: remember it, then try lower QP (more bits, better
 			// quality) while staying within budget.
-			if bestQP == -1 || st.BitsPerPixel > bestSt.BitsPerPixel {
-				bestData, bestSt, bestQP = data, st, mid
+			if bestQP == -1 || pr.st.BitsPerPixel > best.st.BitsPerPixel {
+				best, bestQP = pr, mid
 			}
 			hi = mid - 1
 		} else {
@@ -43,39 +102,48 @@ func EncodeToBitrate(planes []*frame.Plane, targetBPP float64, prof Profile, too
 		}
 	}
 	if bestQP == -1 {
-		// Even QP 51 exceeds the budget; return the smallest stream.
-		data, st, err := Encode(planes, dct.MaxQP, prof, tools)
+		// Even QP 51 exceeds the budget; return the smallest stream. The
+		// bisection already probed MaxQP on its way here, so this is a cache
+		// hit, not a re-encode.
+		pr, err := prober.encode(dct.MaxQP)
 		if err != nil {
 			return nil, Stats{}, 0, err
 		}
-		return data, st, dct.MaxQP, nil
+		return pr.data, pr.st, dct.MaxQP, nil
 	}
-	return bestData, bestSt, bestQP, nil
+	return best.data, best.st, bestQP, nil
 }
 
 // EncodeToMSE finds the cheapest encode (largest QP) whose pixel-domain MSE
 // stays at or below maxMSE — the constraint used for the paper's Fig. 2(b)
 // ablation (MSE < 0.01 in the normalized tensor domain maps to a pixel-MSE
-// budget chosen by the caller).
+// budget chosen by the caller). Probe encodes are memoized by QP, so no QP
+// is ever encoded twice within one call.
+//
+// Zero-pixel inputs are rejected with an error matching ErrEmptyInput, as
+// in EncodeToBitrate.
 func EncodeToMSE(planes []*frame.Plane, maxMSE float64, prof Profile, tools Tools) ([]byte, Stats, int, error) {
 	if maxMSE < 0 {
 		return nil, Stats{}, 0, errors.New("codec: negative MSE budget")
 	}
+	if err := validateRCInput(planes); err != nil {
+		return nil, Stats{}, 0, err
+	}
+	prober := &rcProber{planes: planes, prof: prof, tools: tools, cache: map[int]rcProbe{}}
 	lo, hi := 0, dct.MaxQP
 	var (
-		bestData []byte
-		bestSt   Stats
-		bestQP   = -1
+		best   rcProbe
+		bestQP = -1
 	)
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		data, st, err := Encode(planes, mid, prof, tools)
+		pr, err := prober.encode(mid)
 		if err != nil {
 			return nil, Stats{}, 0, err
 		}
-		if st.MSE <= maxMSE {
+		if pr.st.MSE <= maxMSE {
 			if bestQP == -1 || mid > bestQP {
-				bestData, bestSt, bestQP = data, st, mid
+				best, bestQP = pr, mid
 			}
 			lo = mid + 1
 		} else {
@@ -83,12 +151,13 @@ func EncodeToMSE(planes []*frame.Plane, maxMSE float64, prof Profile, tools Tool
 		}
 	}
 	if bestQP == -1 {
-		// Even QP 0 misses the budget; return the best-quality stream.
-		data, st, err := Encode(planes, 0, prof, tools)
+		// Even QP 0 misses the budget; return the best-quality stream (a
+		// cache hit — QP 0 was the bisection's last probe).
+		pr, err := prober.encode(0)
 		if err != nil {
 			return nil, Stats{}, 0, err
 		}
-		return data, st, 0, nil
+		return pr.data, pr.st, 0, nil
 	}
-	return bestData, bestSt, bestQP, nil
+	return best.data, best.st, bestQP, nil
 }

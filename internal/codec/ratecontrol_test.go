@@ -1,0 +1,91 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dct"
+	"repro/internal/frame"
+)
+
+// TestRateControlRejectsEmptyInput pins the degenerate-input bug: an empty
+// plane list (or a zero-pixel plane) makes Stats.BitsPerPixel = 0/0 = NaN,
+// every bisection comparison false, and the old code silently returned a
+// stream "meeting" any budget. Both searches must instead fail up front with
+// a typed error matching ErrEmptyInput.
+func TestRateControlRejectsEmptyInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		planes []*frame.Plane
+	}{
+		{"empty list", nil},
+		{"nil plane", []*frame.Plane{nil}},
+		{"zero-dim plane", []*frame.Plane{{W: 0, H: 16}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := EncodeToBitrate(tc.planes, 2.0, HEVC, AllTools); !errors.Is(err, ErrEmptyInput) {
+				t.Fatalf("EncodeToBitrate: got %v, want ErrEmptyInput", err)
+			}
+			if _, _, _, err := EncodeToMSE(tc.planes, 1.0, HEVC, AllTools); !errors.Is(err, ErrEmptyInput) {
+				t.Fatalf("EncodeToMSE: got %v, want ErrEmptyInput", err)
+			}
+		})
+	}
+}
+
+// TestRateControlProberMemoizes checks that probe encodes are cached by QP:
+// a repeated QP is served from the cache (probes counter unchanged) with
+// byte-identical output.
+func TestRateControlProberMemoizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := &rcProber{
+		planes: []*frame.Plane{gradientPlane(rng, 48, 48)},
+		prof:   HEVC, tools: AllTools,
+		cache: map[int]rcProbe{},
+	}
+	a, err := p.encode(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.encode(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.probes != 1 {
+		t.Fatalf("2 probes at one QP performed %d encodes, want 1", p.probes)
+	}
+	if !bytes.Equal(a.data, b.data) {
+		t.Fatal("cached probe differs from original")
+	}
+	if _, err := p.encode(30); err != nil {
+		t.Fatal(err)
+	}
+	if p.probes != 2 {
+		t.Fatalf("distinct QP should miss the cache: %d encodes", p.probes)
+	}
+}
+
+// TestRateControlFallbackReusesProbe checks the infeasible-budget fallback:
+// a budget below even QP 51's rate must return the QP-51 stream without
+// re-encoding it (the bisection already probed MaxQP on its way down).
+func TestRateControlFallbackReusesProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	planes := []*frame.Plane{noisePlane(rng, 64, 64)}
+	data, st, qp, err := EncodeToBitrate(planes, 1e-6, HEVC, AllTools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp != dct.MaxQP {
+		t.Fatalf("infeasible budget chose qp %d, want MaxQP", qp)
+	}
+	want, wantSt, err2 := Encode(planes, dct.MaxQP, HEVC, AllTools)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !bytes.Equal(data, want) || st.Bits != wantSt.Bits {
+		t.Fatal("fallback stream differs from direct MaxQP encode")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/dct"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/quant"
 )
 
@@ -39,6 +40,14 @@ type Options struct {
 	// which chunks of a damaged stream are still trustworthy. Off by
 	// default so existing streams stay byte-identical.
 	Checksum bool
+	// Metrics, when non-nil, collects the whole stack's observability
+	// signals into one registry: per-stage codec encode/decode timings and
+	// bit accounts, worker-pool utilization, the decode-error taxonomy, and
+	// the core layer's own rollups (core.encode_stack / core.decode_stack
+	// spans, quantize/dequantize stage times, layer and value counters,
+	// rate-control probe counts). Nil (the default) disables every record
+	// site at the cost of a single pointer check — see DESIGN.md §10.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the paper's shipping configuration: H.265 profile
@@ -118,6 +127,8 @@ func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
 		MaxFrameW: o.MaxFrameW, MaxFrameH: o.MaxFrameH,
 		QP: qp,
 	}
+	span := o.Metrics.StartSpan("core.encode_stack")
+	quantSpan := span.Child("quantize")
 	var planes []*frame.Plane
 	for _, t := range stack {
 		pix := make([]uint8, rows*cols)
@@ -136,16 +147,24 @@ func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
 		}
 		planes = append(planes, frame.FromMatrix(pix, rows, cols, o.MaxFrameW, o.MaxFrameH)...)
 	}
-	encode := codec.EncodeParallel
+	quantSpan.End()
+	encode := codec.EncodeParallelObs
 	if o.Checksum {
-		encode = codec.EncodeChecksummed
+		encode = codec.EncodeChecksummedObs
 	}
-	stream, st, err := encode(planes, qp, o.Profile, o.Tools, o.Workers)
+	stream, st, err := encode(planes, qp, o.Profile, o.Tools, o.Workers, o.Metrics)
 	if err != nil {
 		return nil, err
 	}
 	enc.Stream = stream
 	enc.Stats = st
+	span.End()
+	if o.Metrics != nil {
+		o.Metrics.Add("core.encode.layers", int64(enc.Layers))
+		o.Metrics.Add("core.encode.values", int64(enc.Layers)*int64(rows)*int64(cols))
+		o.Metrics.Add("core.encode.stream_bits", int64(len(stream))*8)
+		o.Metrics.Add("core.encode.metadata_bits", int64(enc.SizeBits()-len(stream)*8))
+	}
 	return enc, nil
 }
 
@@ -265,20 +284,31 @@ func (e *Encoded) dequantLayer(l int, layerPlanes []*frame.Plane, regs []frame.R
 func (o Options) DecodeStack(e *Encoded) ([]*Tensor, error) {
 	o = o.normalized()
 	if err := e.validate(); err != nil {
+		o.Metrics.Add("core.decode.errors", 1)
 		return nil, err
 	}
-	planes, err := codec.DecodeWorkers(e.Stream, o.Workers)
+	span := o.Metrics.StartSpan("core.decode_stack")
+	planes, err := codec.DecodeWorkersObs(e.Stream, o.Workers, o.Metrics)
 	if err != nil {
+		o.Metrics.Add("core.decode.errors", 1)
 		return nil, err
 	}
 	regs := e.regions()
 	if err := e.checkPlaneGeometry(planes, regs); err != nil {
+		o.Metrics.Add("core.decode.errors", 1)
 		return nil, err
 	}
+	dequantSpan := span.Child("dequantize")
 	perLayer := len(regs)
 	out := make([]*Tensor, e.Layers)
 	for l := 0; l < e.Layers; l++ {
 		out[l], _ = e.dequantLayer(l, planes[l*perLayer:(l+1)*perLayer], regs)
+	}
+	dequantSpan.End()
+	span.End()
+	if o.Metrics != nil {
+		o.Metrics.Add("core.decode.layers", int64(e.Layers))
+		o.Metrics.Add("core.decode.values", int64(e.Layers)*int64(e.Rows)*int64(e.Cols))
 	}
 	return out, nil
 }
@@ -313,16 +343,37 @@ func (o Options) EncodeToBitrate(t *Tensor, bitsPerValue float64) (*Encoded, err
 	return o.EncodeStackToBitrate([]*Tensor{t}, bitsPerValue)
 }
 
+// probeStack memoizes EncodeStack probes by QP for one rate-control search,
+// counting each real encode into core.ratecontrol.probes. Encoding is
+// deterministic, so the cache is exact and the bisection (including its
+// fallback re-encode at the range edge) never encodes the same QP twice.
+func (o Options) probeStack(stack []*Tensor) func(qp int) (*Encoded, error) {
+	cache := map[int]*Encoded{}
+	return func(qp int) (*Encoded, error) {
+		if e, ok := cache[qp]; ok {
+			return e, nil
+		}
+		e, err := o.EncodeStack(stack, qp)
+		if err != nil {
+			return nil, err
+		}
+		cache[qp] = e
+		o.Metrics.Add("core.ratecontrol.probes", 1)
+		return e, nil
+	}
+}
+
 // EncodeStackToBitrate is EncodeToBitrate over a layer stack.
 func (o Options) EncodeStackToBitrate(stack []*Tensor, bitsPerValue float64) (*Encoded, error) {
 	if bitsPerValue <= 0 {
 		return nil, fmt.Errorf("core: bits-per-value target %.3f must be positive", bitsPerValue)
 	}
+	probe := o.probeStack(stack)
 	lo, hi := 0, dct.MaxQP
 	var best *Encoded
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		e, err := o.EncodeStack(stack, mid)
+		e, err := probe(mid)
 		if err != nil {
 			return nil, err
 		}
@@ -337,8 +388,9 @@ func (o Options) EncodeStackToBitrate(stack []*Tensor, bitsPerValue float64) (*E
 	}
 	if best == nil {
 		// Even the coarsest QP exceeds the budget; return it anyway so the
-		// caller sees the floor.
-		return o.EncodeStack(stack, dct.MaxQP)
+		// caller sees the floor (a cache hit — the bisection probed MaxQP on
+		// its way here).
+		return probe(dct.MaxQP)
 	}
 	return best, nil
 }
@@ -347,6 +399,18 @@ func (o Options) EncodeStackToBitrate(stack []*Tensor, bitsPerValue float64) (*E
 // tensor's value domain) stays at or below maxMSE — the Fig. 2(b) quality
 // constraint (MSE < 0.01).
 func (o Options) EncodeToMSE(t *Tensor, maxMSE float64) (*Encoded, *Tensor, error) {
+	probe := o.probeStack([]*Tensor{t})
+	roundtrip := func(qp int) (*Encoded, *Tensor, error) {
+		e, err := probe(qp)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := o.Decode(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, d, nil
+	}
 	lo, hi := 0, dct.MaxQP
 	var (
 		best    *Encoded
@@ -354,11 +418,7 @@ func (o Options) EncodeToMSE(t *Tensor, maxMSE float64) (*Encoded, *Tensor, erro
 	)
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		e, err := o.Encode(t, mid)
-		if err != nil {
-			return nil, nil, err
-		}
-		d, err := o.Decode(e)
+		e, d, err := roundtrip(mid)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -372,15 +432,7 @@ func (o Options) EncodeToMSE(t *Tensor, maxMSE float64) (*Encoded, *Tensor, erro
 		}
 	}
 	if best == nil {
-		e, err := o.Encode(t, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		d, err := o.Decode(e)
-		if err != nil {
-			return nil, nil, err
-		}
-		return e, d, nil
+		return roundtrip(0)
 	}
 	return best, bestDec, nil
 }
@@ -400,6 +452,7 @@ func (o Options) EncodeStackToMSE(stack []*Tensor, maxMSE float64) (*Encoded, fl
 		}
 		return s / float64(len(dec)), nil
 	}
+	probe := o.probeStack(stack)
 	lo, hi := 0, dct.MaxQP
 	var (
 		best    *Encoded
@@ -407,7 +460,7 @@ func (o Options) EncodeStackToMSE(stack []*Tensor, maxMSE float64) (*Encoded, fl
 	)
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		e, err := o.EncodeStack(stack, mid)
+		e, err := probe(mid)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -425,7 +478,7 @@ func (o Options) EncodeStackToMSE(stack []*Tensor, maxMSE float64) (*Encoded, fl
 		}
 	}
 	if best == nil {
-		e, err := o.EncodeStack(stack, 0)
+		e, err := probe(0)
 		if err != nil {
 			return nil, 0, err
 		}

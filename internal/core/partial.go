@@ -62,14 +62,18 @@ func (r *DecodeReport) LayerDamaged(l int) bool {
 func (o Options) DecodeStackPartial(e *Encoded) ([]*Tensor, *DecodeReport, error) {
 	o = o.normalized()
 	if err := e.validate(); err != nil {
+		o.Metrics.Add("core.decode.errors", 1)
 		return nil, nil, err
 	}
-	res, err := codec.DecodePartial(e.Stream, o.Workers)
+	span := o.Metrics.StartSpan("core.decode_stack_partial")
+	res, err := codec.DecodePartialObs(e.Stream, o.Workers, o.Metrics)
 	if err != nil {
+		o.Metrics.Add("core.decode.errors", 1)
 		return nil, nil, err
 	}
 	regs := e.regions()
 	if err := e.checkPlaneGeometry(res.Planes, regs); err != nil {
+		o.Metrics.Add("core.decode.errors", 1)
 		return nil, nil, err
 	}
 	report := &DecodeReport{
@@ -93,6 +97,11 @@ func (o Options) DecodeStackPartial(e *Encoded) ([]*Tensor, *DecodeReport, error
 				Layer: l, MissingPlanes: missing, TotalPlanes: perLayer,
 			})
 		}
+	}
+	span.End()
+	if o.Metrics != nil {
+		o.Metrics.Add("core.decode.layers", int64(e.Layers))
+		o.Metrics.Add("core.decode.layers_damaged", int64(len(report.Damaged)))
 	}
 	return out, report, nil
 }

@@ -6,6 +6,13 @@ import "fmt"
 // variable bit-width rule (§4.1 footnote 2): B_l = k·l + b, with b chosen so
 // the average over layers equals avgBits. Budgets are floored at minBits so
 // a steep slope cannot drive a layer to zero.
+//
+// Invariants: every returned budget is >= minBits, always. When no layer is
+// floored the average equals avgBits exactly; when the floor binds, the
+// headroom above the floor is drained proportionally to pay for the floored
+// layers, and if even draining every layer to minBits cannot reach avgBits
+// (i.e. minBits > avgBits, so the two constraints conflict), the floor wins
+// and the average sits above avgBits at exactly minBits.
 func VariableSchedule(layers int, avgBits, k, minBits float64) []float64 {
 	if layers <= 0 {
 		panic("core: layers must be positive")
@@ -21,8 +28,14 @@ func VariableSchedule(layers int, avgBits, k, minBits float64) []float64 {
 		out[l] = v
 		sum += v
 	}
-	// Renormalize after flooring so the average matches the budget (floored
-	// layers keep their floor; the remainder is spread proportionally).
+	// Renormalize after flooring so the average matches the budget: floored
+	// layers keep their floor and the excess is drained from the remaining
+	// layers in proportion to their headroom above minBits. The drain factor
+	// f = excess/adjustable removes exactly `excess` when f <= 1; it is
+	// clamped at 1 (drain all headroom, every layer lands on minBits) because
+	// f > 1 — which happens exactly when minBits > avgBits — would push
+	// budgets below the floor, violating the minBits guarantee for the sake
+	// of an average that is unreachable anyway.
 	excess := sum - avgBits*float64(layers)
 	if excess > 0 {
 		var adjustable float64
@@ -33,6 +46,9 @@ func VariableSchedule(layers int, avgBits, k, minBits float64) []float64 {
 		}
 		if adjustable > 0 {
 			f := excess / adjustable
+			if f > 1 {
+				f = 1
+			}
 			for l, v := range out {
 				if v > minBits {
 					out[l] = v - (v-minBits)*f

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestVariableScheduleFloorRegression pins the renormalization bug where a
+// steep slope combined with a floor above the average drove budgets BELOW
+// the floor: with avgBits=1 and minBits=2 every layer floors, the excess
+// exceeds the adjustable headroom (f > 1), and the unclamped drain pushed
+// the last layer to a negative budget (out[3] was -2.0 before the fix).
+func TestVariableScheduleFloorRegression(t *testing.T) {
+	s := VariableSchedule(4, 1.0, 1.0, 2.0)
+	for l, v := range s {
+		if v < 2.0-1e-9 {
+			t.Fatalf("layer %d budget %.4f below floor 2.0: %v", l, v, s)
+		}
+	}
+	// The constraints conflict (minBits > avgBits); the floor must win, so
+	// every budget sits exactly at the floor.
+	for l, v := range s {
+		if math.Abs(v-2.0) > 1e-9 {
+			t.Fatalf("layer %d budget %.4f, want exactly the floor 2.0", l, v)
+		}
+	}
+}
+
+// TestVariableScheduleInvariants property-tests the schedule over random
+// parameters:
+//
+//  1. every budget >= minBits, always;
+//  2. when minBits <= avgBits the average equals avgBits exactly (the
+//     floored excess is drained from the remaining headroom, which is
+//     provably sufficient in this regime);
+//  3. when minBits > avgBits (conflicting constraints) the floor wins and
+//     every budget equals minBits.
+func TestVariableScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(265))
+	for trial := 0; trial < 2000; trial++ {
+		layers := 1 + rng.Intn(64)
+		avgBits := 0.1 + 8*rng.Float64()
+		k := (rng.Float64() - 0.5) * 4
+		minBits := 6 * rng.Float64()
+
+		s := VariableSchedule(layers, avgBits, k, minBits)
+		if len(s) != layers {
+			t.Fatalf("trial %d: %d budgets for %d layers", trial, len(s), layers)
+		}
+		var sum float64
+		for l, v := range s {
+			if v < minBits-1e-9 {
+				t.Fatalf("trial %d (layers=%d avg=%.3f k=%.3f min=%.3f): layer %d budget %.6f below floor",
+					trial, layers, avgBits, k, minBits, l, v)
+			}
+			sum += v
+		}
+		avg := sum / float64(layers)
+		if minBits <= avgBits {
+			if math.Abs(avg-avgBits) > 1e-6 {
+				t.Fatalf("trial %d (layers=%d avg=%.3f k=%.3f min=%.3f): average %.6f != avgBits",
+					trial, layers, avgBits, k, minBits, avg)
+			}
+		} else {
+			for l, v := range s {
+				if math.Abs(v-minBits) > 1e-9 {
+					t.Fatalf("trial %d: conflicting constraints, layer %d budget %.6f != floor %.6f",
+						trial, l, v, minBits)
+				}
+			}
+		}
+		// No-floor case: when every raw line value clears the floor, the
+		// schedule is the exact line and the average is avgBits untouched.
+		b := avgBits - k*float64(layers-1)/2
+		rawMin := math.Min(b, k*float64(layers-1)+b)
+		if rawMin > minBits {
+			for l, v := range s {
+				want := k*float64(l) + b
+				if math.Abs(v-want) > 1e-9 {
+					t.Fatalf("trial %d: unfloored schedule deviates from line at layer %d: %.6f != %.6f",
+						trial, l, v, want)
+				}
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // Support describes one codec's capability on a GPU generation.
@@ -94,6 +95,13 @@ type Device struct {
 	Gen     Generation
 	Profile codec.Profile
 	sup     Support
+	// Metrics, when non-nil, collects device-level rollups alongside the
+	// codec layer's own instrumentation: nvcodec.encode/decode call counters,
+	// modeled-latency histograms (nvcodec.{encode,decode}.model_latency_ns —
+	// the hardware timing model, not host CPU time), and the underlying codec
+	// metrics recorded into the same registry. Nil disables every record
+	// site; see DESIGN.md §10.
+	Metrics *obs.Registry
 }
 
 // Open validates that the generation supports the profile for both encoding
@@ -138,20 +146,33 @@ func (d *Device) Encode(planes []*frame.Plane, qp int, tools codec.Tools) ([]byt
 				p.W, p.H, d.Gen.Name, d.Profile.Name, d.sup.MaxDim)
 		}
 	}
-	data, st, err := codec.EncodeParallel(planes, qp, d.Profile, tools, d.Gen.encEngines())
+	data, st, err := codec.EncodeParallelObs(planes, qp, d.Profile, tools, d.Gen.encEngines(), d.Metrics)
 	if err != nil {
 		return nil, codec.Stats{}, 0, err
 	}
-	return data, st, d.EncodeLatencyPlanes(planes), nil
+	lat := d.EncodeLatencyPlanes(planes)
+	if d.Metrics != nil {
+		d.Metrics.Add("nvcodec.encode.calls", 1)
+		d.Metrics.Observe("nvcodec.encode.model_latency_ns", int64(lat))
+	}
+	return data, st, lat, nil
 }
 
 // Decode mirrors Encode with the decode-side engine schedule.
 func (d *Device) Decode(data []byte) ([]*frame.Plane, time.Duration, error) {
-	planes, err := codec.DecodeWorkers(data, d.Gen.decEngines())
+	planes, err := codec.DecodeWorkersObs(data, d.Gen.decEngines(), d.Metrics)
 	if err != nil {
+		if d.Metrics != nil {
+			d.Metrics.Add("nvcodec.decode.errors", 1)
+		}
 		return nil, 0, err
 	}
-	return planes, d.DecodeLatencyPlanes(planes), nil
+	lat := d.DecodeLatencyPlanes(planes)
+	if d.Metrics != nil {
+		d.Metrics.Add("nvcodec.decode.calls", 1)
+		d.Metrics.Observe("nvcodec.decode.model_latency_ns", int64(lat))
+	}
+	return planes, lat, nil
 }
 
 // EncodeLatency models the single-engine time to ingest the given number of
