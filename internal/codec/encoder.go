@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/bits"
@@ -499,6 +498,10 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
+// rdCandidates is how many of the coarse-ranked intra modes receive a full
+// rate-distortion trial in the default (exhaustive-coarse) search.
+const rdCandidates = 3
+
 // decideLeaf searches prediction choices for an undivided CU and returns the
 // best decision without touching the recon plane.
 func (e *encoder) decideLeaf(x, y, size int) *cuDec {
@@ -551,7 +554,31 @@ func (e *encoder) decideLeaf(x, y, size int) *cuDec {
 			}
 			cands = append(cands, cand{m, sad})
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].sad < cands[j].sad })
+		// Stable top-K selection: ascending SAD, ties ranked in reverse
+		// scoring order — the last-scored tying mode wins, which for the
+		// shipped profiles prefers the higher angular mode over Planar/DC on
+		// flat blocks. This deterministic rule is part of the bitstream
+		// contract pinned by the golden conformance corpus (golden_test.go):
+		// changing it changes output bytes. An explicit insertion-based
+		// selection is used instead of sort.Slice both for allocation-freedom
+		// on the hot path and because sort.Slice's tie order is
+		// implementation-defined.
+		var top [rdCandidates]int
+		topN := 0
+		for ci := range cands {
+			pos := topN
+			for pos > 0 && cands[ci].sad <= cands[top[pos-1]].sad {
+				pos--
+			}
+			if pos >= len(top) {
+				continue
+			}
+			if topN < len(top) {
+				topN++
+			}
+			copy(top[pos+1:topN], top[pos:topN-1])
+			top[pos] = ci
+		}
 		if e.rec != nil {
 			// The SAD ranking (prediction of every profile mode) is the
 			// intra-search share; the full-RD trials below charge their
@@ -560,8 +587,8 @@ func (e *encoder) decideLeaf(x, y, size int) *cuDec {
 		}
 		// Full RD on the top SAD candidates only; Planar and DC compete in
 		// the SAD ranking like every other mode.
-		for i := 0; i < len(cands) && i < 3; i++ {
-			tryIntraMode(cands[i].m, preds[cands[i].m])
+		for i := 0; i < topN; i++ {
+			tryIntraMode(cands[top[i]].m, preds[cands[top[i]].m])
 		}
 	} else {
 		pred := make([]int32, size*size)
