@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-touched ci bench bench-micro bench-parallel fuzz-smoke
+.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke
 
 all: build
 
@@ -30,11 +30,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Fast race run over just the concurrency-bearing packages: the parallel
-# engine, the tensor-stack layer that drives it, and the obs registry whose
-# handles are hammered from every worker.
+# Fast race run over just the concurrency-bearing packages and the kernels
+# they call from every worker: the parallel engine, the tensor-stack layer
+# that drives it, the obs registry whose handles are hammered from every
+# worker, and the intra/dct kernels that now execute inside pooled
+# scratch-arena workers (DESIGN.md §11).
 race-touched:
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/ ./internal/intra/ ./internal/dct/
 
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
@@ -45,14 +47,28 @@ fuzz-smoke:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeStack -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
 
-ci: build vet test race fuzz-smoke
+ci: build vet test race fuzz-smoke bench-guard
 
 # The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
 # deterministic synthetic stack with full metrics and writes a
 # BENCH_parallel.json report (throughput, pool utilization, stage and bit
-# breakdowns, full snapshot). See DESIGN.md §10.
+# breakdowns, allocs/op and bytes/op columns, full snapshot). See DESIGN.md
+# §10 and §11.
 bench:
 	$(GO) run ./cmd/llm265 bench -layers 8 -rows 512 -cols 512 -qp 30 -out BENCH_parallel.json
+
+# Benchmark regression guard: rerun the checked-in baseline's exact workload
+# and compare. Quality (bits/value, MSE) and allocation bands are always
+# enforced; throughput bands are enforced only on multi-core machines (on
+# one CPU the wall clock measures the container, not the code — the guard
+# prints them as advisory warnings instead). Exit code 6 means regression.
+bench-guard:
+	$(GO) run ./cmd/llm265 bench -baseline BENCH_baseline.json -out /dev/null
+
+# Regenerate the bench-guard baseline. Run on a quiet machine and commit the
+# result; keep the geometry small enough for CI to repeat cheaply.
+bench-baseline:
+	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -name baseline -out BENCH_baseline.json
 
 # One pass over every paper-artifact micro-benchmark (testing.B).
 bench-micro:

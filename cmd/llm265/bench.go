@@ -29,14 +29,15 @@ type benchReport struct {
 }
 
 type benchConfig struct {
-	Layers   int    `json:"layers"`
-	Rows     int    `json:"rows"`
-	Cols     int    `json:"cols"`
-	QP       int    `json:"qp"`
-	Workers  int    `json:"workers"`
-	Profile  string `json:"profile"`
-	Checksum bool   `json:"checksum"`
-	Seed     int64  `json:"seed"`
+	Layers     int    `json:"layers"`
+	Rows       int    `json:"rows"`
+	Cols       int    `json:"cols"`
+	QP         int    `json:"qp"`
+	Workers    int    `json:"workers"`
+	Profile    string `json:"profile"`
+	Checksum   bool   `json:"checksum"`
+	FastSearch bool   `json:"fast_search"`
+	Seed       int64  `json:"seed"`
 }
 
 type benchResults struct {
@@ -47,6 +48,15 @@ type benchResults struct {
 	BitsPerValue float64 `json:"bits_per_value"`
 	PixelMSE     float64 `json:"pixel_mse"`
 	ValueMSE     float64 `json:"value_mse"`
+	// Allocation accounting (obs.AllocDelta over the measured run, after a
+	// full warm-up pass has populated the scratch-arena pool). The scratch
+	// arena keeps the per-block hot path allocation-free, so these track
+	// per-call fixed costs — chunk partitioning, container assembly, output
+	// planes — and grow with tensor geometry, not with block count.
+	EncodeAllocs     uint64 `json:"encode_allocs"`
+	EncodeAllocBytes uint64 `json:"encode_alloc_bytes"`
+	DecodeAllocs     uint64 `json:"decode_allocs"`
+	DecodeAllocBytes uint64 `json:"decode_alloc_bytes"`
 	// Pool utilization = busy worker-ns / (wall ns × pool size); 1.0 means
 	// the pool never idled.
 	EncodePoolUtilization float64 `json:"encode_pool_utilization"`
@@ -62,24 +72,47 @@ type benchResults struct {
 
 // benchCmd runs a deterministic synthetic encode+decode workload with full
 // instrumentation and writes a BENCH_*.json report. The tensor content is
-// seeded, so two runs on the same machine differ only in timing.
+// seeded, so two runs on the same machine differ only in timing. With
+// -baseline the run is compared against a checked-in report (geometry and
+// codec settings are taken from the baseline's config so the comparison is
+// apples-to-apples) and exits 6 on regression — see `make bench-guard`.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		layers   = fs.Int("layers", 8, "synthetic stack depth")
-		rows     = fs.Int("rows", 512, "tensor rows per layer")
-		cols     = fs.Int("cols", 512, "tensor cols per layer")
-		qp       = fs.Int("qp", 30, "quantization parameter")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		profile  = fs.String("profile", "h265", "codec profile: h264|h265|av1")
-		checksum = fs.Bool("checksum", true, "use the checksummed v3 container")
-		seed     = fs.Int64("seed", 265, "workload RNG seed")
-		name     = fs.String("name", "parallel", "benchmark name recorded in the report")
-		out      = fs.String("out", "", "report path (default BENCH_<name>.json, \"-\" = stdout)")
+		layers     = fs.Int("layers", 8, "synthetic stack depth")
+		rows       = fs.Int("rows", 512, "tensor rows per layer")
+		cols       = fs.Int("cols", 512, "tensor cols per layer")
+		qp         = fs.Int("qp", 30, "quantization parameter")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		profile    = fs.String("profile", "h265", "codec profile: h264|h265|av1")
+		checksum   = fs.Bool("checksum", true, "use the checksummed v3 container")
+		fastSearch = fs.Bool("fast-search", false, "two-stage SATD-pruned intra mode search")
+		seed       = fs.Int64("seed", 265, "workload RNG seed")
+		name       = fs.String("name", "parallel", "benchmark name recorded in the report")
+		out        = fs.String("out", "", "report path (default BENCH_<name>.json, \"-\" = stdout)")
+		baseline   = fs.String("baseline", "", "compare against this BENCH_*.json (its config overrides the geometry flags); exit 6 on regression")
 	)
 	fs.Parse(args)
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", *name)
+	}
+
+	var base *benchReport
+	if *baseline != "" {
+		blob, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = &benchReport{}
+		if err := json.Unmarshal(blob, base); err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
+		}
+		// Rerun exactly the baseline's workload so every compared number is
+		// measured under the same configuration.
+		c := base.Config
+		*layers, *rows, *cols, *qp = c.Layers, c.Rows, c.Cols, c.QP
+		*workers, *profile, *checksum, *seed = c.Workers, c.Profile, c.Checksum, c.Seed
+		*fastSearch = c.FastSearch
 	}
 
 	stack := syntheticStack(*layers, *rows, *cols, *seed)
@@ -87,22 +120,43 @@ func benchCmd(args []string) {
 	opts.Profile = profileByName(*profile)
 	opts.Workers = *workers
 	opts.Checksum = *checksum
+	opts.FastSearch = *fastSearch
+
+	// Warm-up pass: populates the codec's scratch-arena pool and the
+	// runtime's own lazy state so the measured pass sees steady-state
+	// allocation behavior (the number bench-guard pins).
+	if enc, err := opts.EncodeStack(stack, *qp); err != nil {
+		fatal(err)
+	} else if _, err := opts.DecodeStack(enc); err != nil {
+		fatal(err)
+	}
+
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
 
-	encStart := time.Now()
-	enc, err := opts.EncodeStack(stack, *qp)
+	var (
+		enc     *core.Encoded
+		dec     []*core.Tensor
+		err     error
+		encWall time.Duration
+		decWall time.Duration
+	)
+	encAllocs, encBytes := obs.AllocDelta(func() {
+		encStart := time.Now()
+		enc, err = opts.EncodeStack(stack, *qp)
+		encWall = time.Since(encStart)
+	})
 	if err != nil {
 		fatal(err)
 	}
-	encWall := time.Since(encStart)
-
-	decStart := time.Now()
-	dec, err := opts.DecodeStack(enc)
+	decAllocs, decBytes := obs.AllocDelta(func() {
+		decStart := time.Now()
+		dec, err = opts.DecodeStack(enc)
+		decWall = time.Since(decStart)
+	})
 	if err != nil {
 		fatal(err)
 	}
-	decWall := time.Since(decStart)
 
 	var mse float64
 	for i := range dec {
@@ -119,16 +173,21 @@ func benchCmd(args []string) {
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		Config: benchConfig{
 			Layers: *layers, Rows: *rows, Cols: *cols, QP: *qp,
-			Workers: *workers, Profile: *profile, Checksum: *checksum, Seed: *seed,
+			Workers: *workers, Profile: *profile, Checksum: *checksum,
+			FastSearch: *fastSearch, Seed: *seed,
 		},
 		Results: benchResults{
-			EncodeWallNs: int64(encWall),
-			DecodeWallNs: int64(decWall),
-			EncodeMBps:   rawMB / encWall.Seconds(),
-			DecodeMBps:   rawMB / decWall.Seconds(),
-			BitsPerValue: enc.BitsPerValue(),
-			PixelMSE:     enc.Stats.MSE,
-			ValueMSE:     mse,
+			EncodeWallNs:     int64(encWall),
+			DecodeWallNs:     int64(decWall),
+			EncodeMBps:       rawMB / encWall.Seconds(),
+			DecodeMBps:       rawMB / decWall.Seconds(),
+			BitsPerValue:     enc.BitsPerValue(),
+			PixelMSE:         enc.Stats.MSE,
+			ValueMSE:         mse,
+			EncodeAllocs:     encAllocs,
+			EncodeAllocBytes: encBytes,
+			DecodeAllocs:     decAllocs,
+			DecodeAllocBytes: decBytes,
 			EncodePoolUtilization: poolUtilization(snap,
 				"codec.encode.pool.busy_ns", "codec.encode.pool.wall_ns"),
 			DecodePoolUtilization: poolUtilization(snap,
@@ -170,10 +229,81 @@ func benchCmd(args []string) {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		"bench %s: encode %.1f MB/s (util %.0f%%), decode %.1f MB/s (util %.0f%%), %.3f bits/value -> %s\n",
+		"bench %s: encode %.1f MB/s (util %.0f%%), decode %.1f MB/s (util %.0f%%), %.3f bits/value, %d/%d allocs -> %s\n",
 		*name, rep.Results.EncodeMBps, 100*rep.Results.EncodePoolUtilization,
 		rep.Results.DecodeMBps, 100*rep.Results.DecodePoolUtilization,
-		rep.Results.BitsPerValue, *out)
+		rep.Results.BitsPerValue, rep.Results.EncodeAllocs, rep.Results.DecodeAllocs, *out)
+
+	if base != nil {
+		guardAgainstBaseline(base, &rep)
+	}
+}
+
+// exitBenchRegression is the bench-guard exit code: distinct from the decode
+// taxonomy codes (3..5) so CI can tell "the codec regressed" from "the
+// container is damaged".
+const exitBenchRegression = 6
+
+// Bench-guard tolerance bands. Compression quality is deterministic, so its
+// band is a float round-trip guard; allocation counts tolerate scheduler and
+// runtime noise but catch the hot path regrowing per-block allocations;
+// throughput halving catches gross slowdowns while staying robust to shared
+// CI machines.
+const (
+	guardQualityRelTol = 1e-9 // bits/value, MSE: deterministic encode
+	guardAllocFactor   = 1.5  // allocs/op may grow at most 1.5x
+	guardAllocSlack    = 64   // plus a flat runtime-noise allowance
+	guardSpeedFactor   = 0.5  // MB/s may drop to at most half
+)
+
+// guardAgainstBaseline compares the fresh run against the checked-in
+// baseline and exits 6 if any enforced band is violated. Timing bands are
+// advisory (warn only) on a single-CPU machine, where wall clock says more
+// about the container than the code; quality and allocation bands are always
+// enforced because they are machine-independent.
+func guardAgainstBaseline(base, cur *benchReport) {
+	b, c := &base.Results, &cur.Results
+	failures := 0
+	check := func(enforced bool, ok bool, format string, args ...any) {
+		if ok {
+			return
+		}
+		if enforced {
+			failures++
+			fmt.Fprintf(os.Stderr, "bench-guard: FAIL: "+format+"\n", args...)
+		} else {
+			fmt.Fprintf(os.Stderr, "bench-guard: warn (advisory on %d CPU): "+format+"\n",
+				append([]any{runtime.GOMAXPROCS(0)}, args...)...)
+		}
+	}
+	relClose := func(a, b float64) bool {
+		d := math.Abs(a - b)
+		return d <= guardQualityRelTol*math.Max(math.Abs(a), math.Abs(b)) || d == 0
+	}
+	allocOK := func(cur, base uint64) bool {
+		return float64(cur) <= guardAllocFactor*float64(base)+guardAllocSlack
+	}
+
+	check(true, relClose(c.BitsPerValue, b.BitsPerValue),
+		"bits/value %.9f, baseline %.9f (encode output drifted)", c.BitsPerValue, b.BitsPerValue)
+	check(true, relClose(c.ValueMSE, b.ValueMSE),
+		"value MSE %.9g, baseline %.9g (reconstruction drifted)", c.ValueMSE, b.ValueMSE)
+	check(true, allocOK(c.EncodeAllocs, b.EncodeAllocs),
+		"encode allocs %d, baseline %d (hot path is allocating again)", c.EncodeAllocs, b.EncodeAllocs)
+	check(true, allocOK(c.DecodeAllocs, b.DecodeAllocs),
+		"decode allocs %d, baseline %d (hot path is allocating again)", c.DecodeAllocs, b.DecodeAllocs)
+
+	timingEnforced := runtime.GOMAXPROCS(0) > 1
+	check(timingEnforced, c.EncodeMBps >= guardSpeedFactor*b.EncodeMBps,
+		"encode %.2f MB/s, baseline %.2f MB/s", c.EncodeMBps, b.EncodeMBps)
+	check(timingEnforced, c.DecodeMBps >= guardSpeedFactor*b.DecodeMBps,
+		"decode %.2f MB/s, baseline %.2f MB/s", c.DecodeMBps, b.DecodeMBps)
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bench-guard: %d regression(s) vs %s\n", failures, base.Name)
+		os.Exit(exitBenchRegression)
+	}
+	fmt.Fprintln(os.Stderr, "bench-guard: OK")
 }
 
 // syntheticStack builds a deterministic stack with the channel-band structure

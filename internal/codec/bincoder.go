@@ -131,6 +131,14 @@ type contexts struct {
 
 func newContexts() *contexts {
 	c := &contexts{}
+	c.init()
+	return c
+}
+
+// init (re)sets every context to its initial adaptive state. Pooled
+// scratches call this per chunk so a recycled context set is
+// indistinguishable from a fresh one — the bitstream contract depends on it.
+func (c *contexts) init() {
 	for i := range c.split {
 		c.split[i] = cabac.NewContext(0.5)
 	}
@@ -144,7 +152,6 @@ func newContexts() *contexts {
 			c.sig[s][d] = cabac.NewContext(0.6)
 		}
 	}
-	return c
 }
 
 // sizeIdx maps a block edge (4..32) to a context table index.

@@ -27,6 +27,10 @@ type decoder struct {
 	transforms map[int]*dct.Transform
 	dst4       *dct.Transform
 
+	// scr is the per-worker scratch arena; owned exclusively by this decoder
+	// for the duration of the chunk.
+	scr *scratch
+
 	prevMode intra.Mode
 }
 
@@ -124,9 +128,10 @@ func parseCommonHeader(data []byte) (prof Profile, tools Tools, qp int, dims [][
 const maxDecodePixels = 1 << 28
 
 // decodeChunkPayload decodes one independent substream covering the given
-// frame dims. All decoder state is local to the call, so distinct chunks may
-// be decoded concurrently.
-func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools, qp int) (planes []*frame.Plane, err error) {
+// frame dims into freshly allocated planes, using the caller's scratch s for
+// every transient buffer. Distinct chunks may be decoded concurrently as
+// long as each call owns its scratch.
+func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools, qp int, s *scratch) (planes []*frame.Plane, err error) {
 	// recover() must be called directly by the deferred function, so the
 	// panic trap is inlined here rather than delegated to a helper. Known
 	// decode panics travel as decodeError values; anything else (an index
@@ -144,18 +149,15 @@ func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools
 		}
 	}()
 
-	d := &decoder{
+	d := &s.dec
+	*d = decoder{
 		prof:       prof,
 		tools:      tools,
 		qp:         qp,
-		ctx:        newContexts(),
-		transforms: map[int]*dct.Transform{},
-		dst4:       dct.NewDST4(),
-	}
-	for _, n := range []int{4, 8, 16, 32} {
-		if n <= prof.MaxTransform {
-			d.transforms[n] = dct.NewDCT(n)
-		}
+		ctx:        s.contexts(),
+		transforms: s.transforms,
+		dst4:       s.dst4,
+		scr:        s,
 	}
 	if tools.CABAC {
 		d.br = cabacBinDec{cabac.NewDecoder(payload)}
@@ -175,8 +177,11 @@ func (d *decoder) decodeFrame(srcW, srcH int) *frame.Plane {
 	d.prev = d.recon
 	d.w = padTo(srcW, d.prof.CTUSize)
 	d.h = padTo(srcH, d.prof.CTUSize)
-	d.recon = frame.NewPlane(d.w, d.h)
-	d.coded = make([]bool, d.w*d.h)
+	// The padded reconstruction is recycled from the scratch arena; stale
+	// contents are safe because no uncoded pixel is ever read (mirrors the
+	// encoder, which is what keeps the two reconstructions bit-identical).
+	d.recon = d.scr.reconPlane.Reuse(d.w, d.h)
+	d.coded = d.scr.codedMask(d.w * d.h)
 	d.prevMode = intra.DC
 
 	for y := 0; y < d.h; y += d.prof.CTUSize {
@@ -265,16 +270,18 @@ func (d *decoder) parseLeaf(x, y, size int) {
 		d.prevMode = mode
 	}
 
+	s := d.scr
 	lev := d.parseResidual(size, d.tools.Transform)
 
-	pred := make([]int32, size*size)
+	pred := s.pred[:size*size]
 	switch {
 	case isInter:
 		motionPredict(d.prev, pred, x, y, size, mvx, mvy)
 	case d.tools.IntraPred:
-		refs := gatherRefs(d.recon, d.coded, x, y, size)
+		refs := intra.Refs{Above: s.refsAbove[:2*size], Left: s.refsLeft[:2*size]}
+		refs = gatherRefsInto(d.recon, d.coded, x, y, size, s.rawRefs[:4*size+1], refs)
 		if d.prof.RefSmoothing && intra.UseSmoothing(size, mode) {
-			refs = refs.Smoothed()
+			refs = refs.SmoothedInto(intra.Refs{Above: s.smAbove[:2*size], Left: s.smLeft[:2*size]})
 		}
 		intra.Predict(mode, size, refs, pred)
 	default:
@@ -284,7 +291,8 @@ func (d *decoder) parseLeaf(x, y, size int) {
 	}
 
 	tr := d.transformFor(size, !isInter)
-	rec := reconstructBlock(pred, lev, size, d.qp, d.tools.Transform, tr)
+	rec := s.rec[:size*size]
+	reconstructBlockInto(rec, s.coefA[:size*size], pred, lev, d.qp, d.tools.Transform, tr)
 	for dy := 0; dy < size; dy++ {
 		row := d.recon.Row(y + dy)
 		for dx := 0; dx < size; dx++ {
@@ -301,13 +309,16 @@ func (d *decoder) transformFor(size int, isIntra bool) *dct.Transform {
 	return d.transforms[size]
 }
 
+// parseResidual decodes one level block into the scratch trial buffer,
+// valid until the next parseResidual call.
 func (d *decoder) parseResidual(size int, transformed bool) []int32 {
 	si := sizeIdx(size)
 	scan := scanOrder(size)
 	if !transformed {
 		scan = rasterOrder(size)
 	}
-	lev := make([]int32, size*size)
+	lev := d.scr.trialLev[:size*size]
+	clear(lev)
 	if d.br.bit(&d.ctx.cbf[si]) == 0 {
 		return lev
 	}

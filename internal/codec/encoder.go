@@ -8,8 +8,6 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/bits"
-	"repro/internal/cabac"
 	"repro/internal/dct"
 	"repro/internal/frame"
 	"repro/internal/intra"
@@ -48,6 +46,10 @@ type encoder struct {
 	transforms map[int]*dct.Transform
 	dst4       *dct.Transform
 
+	// scr is the per-worker scratch arena every hot-path buffer comes from;
+	// owned exclusively by this encoder for the duration of the chunk.
+	scr *scratch
+
 	prevModeEmit intra.Mode // mode predictor state for emission
 
 	// rec accumulates per-stage times and bit accounts for this chunk when
@@ -75,7 +77,9 @@ func encodeSerial(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *e
 	if m != nil {
 		chunkStart = time.Now()
 	}
-	payload, recs := encodeChunk(planes, qp, prof, tools, m)
+	s := getScratch()
+	payload, recs := encodeChunk(planes, qp, prof, tools, m, s)
+	putScratch(s)
 	if m != nil {
 		m.chunkNs.ObserveSince(chunkStart)
 	}
@@ -133,28 +137,21 @@ func validateEncode(planes []*frame.Plane, qp int, prof Profile) error {
 // its encoder state, so distinct chunks may be encoded concurrently; the
 // per-chunk stage recorder is equally private and flushes into the shared
 // atomic metric handles only at the end of the call.
-func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics) ([]byte, []*frame.Plane) {
-	e := &encoder{
+func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics, s *scratch) ([]byte, []*frame.Plane) {
+	e := &s.enc
+	*e = encoder{
 		prof:       prof,
 		tools:      tools,
 		qp:         qp,
-		ctx:        newContexts(),
+		ctx:        s.contexts(),
 		lambda:     0.12 * dct.Qstep(qp) * dct.Qstep(qp),
-		transforms: map[int]*dct.Transform{},
-		dst4:       dct.NewDST4(),
+		transforms: s.transforms,
+		dst4:       s.dst4,
+		scr:        s,
+		bw:         s.binEnc(tools.CABAC),
 	}
 	if m != nil {
 		e.rec = &stageRecorder{m: m}
-	}
-	for _, n := range []int{4, 8, 16, 32} {
-		if n <= prof.MaxTransform {
-			e.transforms[n] = dct.NewDCT(n)
-		}
-	}
-	if tools.CABAC {
-		e.bw = cabacBinEnc{cabac.NewEncoder()}
-	} else {
-		e.bw = rawBinEnc{bits.NewWriter()}
 	}
 	recs := make([]*frame.Plane, len(planes))
 	for i, p := range planes {
@@ -162,11 +159,17 @@ func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *en
 		e.encodeFrame(p)
 		recs[i] = e.recon
 	}
+	// finish() returns a slice aliasing the pooled bin coder's buffer; copy
+	// the payload out so the scratch can be reused (or repooled) while the
+	// caller still holds the bytes. The copy is also exact-size, so the
+	// container assembly never retains a grown append buffer.
 	out := e.bw.finish()
+	payload := make([]byte, len(out))
+	copy(payload, out)
 	if e.rec != nil {
 		e.rec.flush()
 	}
-	return out, recs
+	return payload, recs
 }
 
 // computeStats aggregates size and distortion over the source planes and
@@ -193,39 +196,48 @@ func computeStats(planes, recs []*frame.Plane, bits int) Stats {
 // padTo returns v rounded up to a multiple of m.
 func padTo(v, m int) int { return (v + m - 1) / m * m }
 
-// padPlane edge-replicates p to pw×ph.
-func padPlane(p *frame.Plane, pw, ph int) *frame.Plane {
-	if p.W == pw && p.H == ph {
-		return p.Clone()
+// padPlaneInto edge-replicates p into dst, which is already sized to the
+// padded dims. Every dst pixel is written, so dst may be a recycled plane.
+func padPlaneInto(dst, p *frame.Plane) {
+	if p.W == dst.W && p.H == dst.H {
+		copy(dst.Pix, p.Pix)
+		return
 	}
-	q := frame.NewPlane(pw, ph)
-	for y := 0; y < ph; y++ {
+	for y := 0; y < dst.H; y++ {
 		sy := y
 		if sy >= p.H {
 			sy = p.H - 1
 		}
-		for x := 0; x < pw; x++ {
-			sx := x
-			if sx >= p.W {
-				sx = p.W - 1
-			}
-			q.Set(x, y, p.At(sx, sy))
+		srow := p.Row(sy)
+		drow := dst.Row(y)
+		copy(drow, srow)
+		edge := srow[p.W-1]
+		for x := p.W; x < dst.W; x++ {
+			drow[x] = edge
 		}
 	}
-	return q
 }
 
 func (e *encoder) encodeFrame(src *frame.Plane) {
-	e.prev = e.recon // previous frame's reconstruction (may be nil)
+	e.prev = e.recon // previous frame's cropped reconstruction (may be nil)
 	e.w = padTo(src.W, e.prof.CTUSize)
 	e.h = padTo(src.H, e.prof.CTUSize)
-	e.orig = padPlane(src, e.w, e.h)
-	e.recon = frame.NewPlane(e.w, e.h)
-	e.coded = make([]bool, e.w*e.h)
+	// The padded source and reconstruction live in the scratch arena. The
+	// recycled recon starts with unspecified contents, which is safe because
+	// nothing reads an uncoded pixel: gatherRefs consults the coverage mask,
+	// snapshot/restore round-trips bytes verbatim, and by the end of the CTU
+	// loop every padded pixel has been written by applyLeaf. The golden
+	// conformance corpus pins this reasoning byte-for-byte.
+	e.orig = e.scr.origPlane.Reuse(e.w, e.h)
+	padPlaneInto(e.orig, src)
+	e.recon = e.scr.reconPlane.Reuse(e.w, e.h)
+	e.coded = e.scr.codedMask(e.w * e.h)
 	e.prevModeEmit = intra.DC
 
 	for y := 0; y < e.h; y += e.prof.CTUSize {
 		for x := 0; x < e.w; x += e.prof.CTUSize {
+			// Decisions from the previous CTU were emitted; recycle them.
+			e.scr.resetCTU()
 			if e.rec != nil {
 				t0 := time.Now()
 				d := e.decideCU(x, y, e.prof.CTUSize, 0)
@@ -239,14 +251,14 @@ func (e *encoder) encodeFrame(src *frame.Plane) {
 			e.emitCU(d, x, y, e.prof.CTUSize, 0)
 		}
 	}
-	// Crop the reconstruction back to the source dims for stats.
+	// Crop the reconstruction back to the source dims. The crop is a fresh
+	// plane — it escapes the codec as API output (and as the next frame's
+	// inter reference), so it must not alias the arena.
 	crop := frame.NewPlane(src.W, src.H)
 	for y := 0; y < src.H; y++ {
 		copy(crop.Row(y), e.recon.Row(y)[:src.W])
 	}
-	full := e.recon
 	e.recon = crop
-	_ = full
 }
 
 // cuDec is a decided coding unit: either a split with four children or a
@@ -305,7 +317,8 @@ func (e *encoder) splitKindFor(size int) splitKind {
 func (e *encoder) decideCU(x, y, size, depth int) *cuDec {
 	switch e.splitKindFor(size) {
 	case splitForced:
-		d := &cuDec{split: true}
+		d := e.scr.newNode()
+		d.split = true
 		h := size / 2
 		for i := 0; i < 4; i++ {
 			cx, cy := x+(i%2)*h, y+(i/2)*h
@@ -322,10 +335,13 @@ func (e *encoder) decideCU(x, y, size, depth int) *cuDec {
 	// Signaled split: compare leaf vs 4-way split by RD cost.
 	leaf := e.decideLeaf(x, y, size)
 
-	// Snapshot the block region before the children trial.
-	snap := e.snapshot(x, y, size)
+	// Snapshot the block region before the children trial. Snapshot buffers
+	// are per-depth in the scratch arena; the recursion nests them exactly.
+	snap := e.snapshot(x, y, size, depth)
 
-	split := &cuDec{split: true, cost: e.lambda * 1.0} // ~1 bit split flag
+	split := e.scr.newNode()
+	split.split = true
+	split.cost = e.lambda * 1.0 // ~1 bit split flag
 	h := size / 2
 	for i := 0; i < 4; i++ {
 		cx, cy := x+(i%2)*h, y+(i/2)*h
@@ -343,8 +359,8 @@ func (e *encoder) decideCU(x, y, size, depth int) *cuDec {
 	return split
 }
 
-func (e *encoder) snapshot(x, y, size int) []uint8 {
-	s := make([]uint8, size*size)
+func (e *encoder) snapshot(x, y, size, depth int) []uint8 {
+	s := e.scr.snap[depth][:size*size]
 	for dy := 0; dy < size; dy++ {
 		copy(s[dy*size:dy*size+size], e.recon.Row(y + dy)[x:x+size])
 	}
@@ -360,8 +376,10 @@ func (e *encoder) restore(s []uint8, x, y, size int) {
 // applyLeaf reconstructs the decided leaf into the recon plane and marks the
 // region coded.
 func (e *encoder) applyLeaf(d *cuDec, x, y, size int) {
+	s := e.scr
 	pred := e.predictFor(d, x, y, size)
-	rec := reconstructBlock(pred, d.levels, size, e.qp, e.tools.Transform, e.transformFor(size, !d.inter))
+	rec := s.rec[:size*size]
+	reconstructBlockInto(rec, s.coefA[:size*size], pred, d.levels, e.qp, e.tools.Transform, e.transformFor(size, !d.inter))
 	for dy := 0; dy < size; dy++ {
 		row := e.recon.Row(y + dy)
 		for dx := 0; dx < size; dx++ {
@@ -380,16 +398,18 @@ func (e *encoder) transformFor(size int, isIntra bool) *dct.Transform {
 	return e.transforms[size]
 }
 
-// predictFor computes the prediction signal for a decided leaf.
+// predictFor computes the prediction signal for a decided leaf into the
+// scratch pred buffer (valid until the next predictFor/motion call).
 func (e *encoder) predictFor(d *cuDec, x, y, size int) []int32 {
-	pred := make([]int32, size*size)
+	s := e.scr
+	pred := s.pred[:size*size]
 	switch {
 	case d.inter:
 		e.motionPredict(pred, x, y, size, d.mvx, d.mvy)
 	case e.tools.IntraPred:
 		refs := e.gatherRefs(x, y, size)
 		if e.prof.RefSmoothing && intra.UseSmoothing(size, d.mode) {
-			refs = refs.Smoothed()
+			refs = refs.SmoothedInto(intra.Refs{Above: s.smAbove[:2*size], Left: s.smLeft[:2*size]})
 		}
 		intra.Predict(d.mode, size, refs, pred)
 	default:
@@ -400,13 +420,25 @@ func (e *encoder) predictFor(d *cuDec, x, y, size int) []int32 {
 	return pred
 }
 
-// gatherRefs builds intra reference samples from the reconstruction with
-// HEVC-style substitution of unavailable samples.
+// gatherRefs builds intra reference samples from the reconstruction into the
+// scratch reference buffers (valid until the next gatherRefs call).
 func (e *encoder) gatherRefs(x, y, size int) intra.Refs {
-	return gatherRefs(e.recon, e.coded, x, y, size)
+	s := e.scr
+	refs := intra.Refs{Above: s.refsAbove[:2*size], Left: s.refsLeft[:2*size]}
+	return gatherRefsInto(e.recon, e.coded, x, y, size, s.rawRefs[:4*size+1], refs)
 }
 
+// gatherRefs is the allocating form, kept for tests and out-of-band callers.
 func gatherRefs(recon *frame.Plane, coded []bool, x, y, size int) intra.Refs {
+	raw := make([]refSample, 4*size+1)
+	return gatherRefsInto(recon, coded, x, y, size, raw, intra.NewRefs(size))
+}
+
+// gatherRefsInto fills refs (whose Above/Left must be 2·size long) from the
+// reconstruction with HEVC-style substitution of unavailable samples, using
+// raw (4·size+1 entries) as the substitution workspace. Returns refs with
+// its Corner set.
+func gatherRefsInto(recon *frame.Plane, coded []bool, x, y, size int, raw []refSample, refs intra.Refs) intra.Refs {
 	w, h := recon.W, recon.H
 	n2 := 2 * size
 	avail := func(px, py int) bool {
@@ -415,28 +447,24 @@ func gatherRefs(recon *frame.Plane, coded []bool, x, y, size int) intra.Refs {
 	// Collect raw samples with availability, order: below-left (bottom to
 	// top), corner, above and above-right (left to right) — the HEVC
 	// reference scan.
-	type rs struct {
-		v  int32
-		ok bool
-	}
-	raw := make([]rs, 0, 4*size+1)
+	raw = raw[:0]
 	for i := n2 - 1; i >= 0; i-- { // left column downward stored reversed
 		if avail(x-1, y+i) {
-			raw = append(raw, rs{int32(recon.At(x-1, y+i)), true})
+			raw = append(raw, refSample{int32(recon.At(x-1, y+i)), true})
 		} else {
-			raw = append(raw, rs{0, false})
+			raw = append(raw, refSample{0, false})
 		}
 	}
 	if avail(x-1, y-1) {
-		raw = append(raw, rs{int32(recon.At(x-1, y-1)), true})
+		raw = append(raw, refSample{int32(recon.At(x-1, y-1)), true})
 	} else {
-		raw = append(raw, rs{0, false})
+		raw = append(raw, refSample{0, false})
 	}
 	for i := 0; i < n2; i++ {
 		if avail(x+i, y-1) {
-			raw = append(raw, rs{int32(recon.At(x+i, y-1)), true})
+			raw = append(raw, refSample{int32(recon.At(x+i, y-1)), true})
 		} else {
-			raw = append(raw, rs{0, false})
+			raw = append(raw, refSample{0, false})
 		}
 	}
 	// Substitute: find the first available; if none, all 128. Then fill
@@ -450,19 +478,18 @@ func gatherRefs(recon *frame.Plane, coded []bool, x, y, size int) intra.Refs {
 	}
 	if first == -1 {
 		for i := range raw {
-			raw[i] = rs{128, true}
+			raw[i] = refSample{128, true}
 		}
 	} else {
 		for i := first - 1; i >= 0; i-- {
-			raw[i] = rs{raw[i+1].v, true}
+			raw[i] = refSample{raw[i+1].v, true}
 		}
 		for i := first + 1; i < len(raw); i++ {
 			if !raw[i].ok {
-				raw[i] = rs{raw[i-1].v, true}
+				raw[i] = refSample{raw[i-1].v, true}
 			}
 		}
 	}
-	refs := intra.NewRefs(size)
 	for i := 0; i < n2; i++ {
 		refs.Left[i] = raw[n2-1-i].v
 	}
@@ -499,29 +526,77 @@ func clampInt(v, lo, hi int) int {
 }
 
 // rdCandidates is how many of the coarse-ranked intra modes receive a full
-// rate-distortion trial in the default (exhaustive-coarse) search.
+// rate-distortion trial in the default (SAD-coarse) search.
 const rdCandidates = 3
 
+// fastRDCandidates is the RD survivor count under Profile.FastSearch: the
+// SATD coarse stage ranks modes well enough that two survivors recover the
+// default search's quality (see TestFastSearchEnvelope for the tested MSE
+// envelope) while cutting the full-RD trial count by a third.
+const fastRDCandidates = 2
+
+// satdCoarseScore computes the FastSearch coarse score: the SATD (Hadamard
+// transformed absolute difference) of the prediction residual, decimated 2:1
+// in both directions for blocks of 16 and up. Full-resolution SATD on a
+// 32×32 block costs more than the RD trial it exists to avoid; decimation
+// keeps the Hadamard's sensitivity to how well a predictor tracks the
+// block's dominant gradients while cutting the coarse stage by 4×. Modes are
+// only ranked against each other within one block, so the decimated score
+// needs no rescaling — the ×4 keeps its magnitude comparable to the
+// full-resolution score for anyone reading traces.
+func satdCoarseScore(orig, pred, res []int32, size int) int64 {
+	if size < 16 {
+		n2 := size * size
+		res = res[:n2]
+		for i := 0; i < n2; i++ {
+			res[i] = orig[i] - pred[i]
+		}
+		return dct.SATD(res, size)
+	}
+	h := size / 2
+	res = res[:h*h]
+	for y := 0; y < h; y++ {
+		srcBase := 2 * y * size
+		dstBase := y * h
+		for x := 0; x < h; x++ {
+			res[dstBase+x] = orig[srcBase+2*x] - pred[srcBase+2*x]
+		}
+	}
+	return 4 * dct.SATD(res, h)
+}
+
+// tryIntraRD runs one full rate-distortion trial; on improvement it
+// overwrites *best and copies the candidate levels into bestLev (the one
+// arena-backed level block this leaf owns).
+func (e *encoder) tryIntraRD(m intra.Mode, orig, pred []int32, size int, best *cuDec, bestLev []int32) {
+	lev, dist, rbits := e.trialResidual(orig, pred, size, true)
+	modeBits := 1.0 + math.Log2(float64(len(e.prof.Modes)))
+	cost := dist + e.lambda*(rbits+modeBits)
+	if cost < best.cost {
+		*best = cuDec{mode: m, levels: bestLev, cost: cost}
+		copy(bestLev, lev)
+	}
+}
+
 // decideLeaf searches prediction choices for an undivided CU and returns the
-// best decision without touching the recon plane.
+// best decision without touching the recon plane. Every buffer it touches
+// comes from the scratch arena; the returned node and its levels live in the
+// per-CTU bump arenas.
 func (e *encoder) decideLeaf(x, y, size int) *cuDec {
-	orig := make([]int32, size*size)
+	s := e.scr
+	n2 := size * size
+	orig := s.orig[:n2]
 	for dy := 0; dy < size; dy++ {
 		row := e.orig.Row(y + dy)
+		base := dy * size
 		for dx := 0; dx < size; dx++ {
-			orig[dy*size+dx] = int32(row[x+dx])
+			orig[base+dx] = int32(row[x+dx])
 		}
 	}
 
-	best := &cuDec{cost: math.Inf(1)}
-	tryIntraMode := func(m intra.Mode, pred []int32) {
-		lev, dist, rbits := e.trialResidual(orig, pred, size, true)
-		modeBits := 1.0 + math.Log2(float64(len(e.prof.Modes)))
-		cost := dist + e.lambda*(rbits+modeBits)
-		if cost < best.cost {
-			best = &cuDec{mode: m, levels: lev, cost: cost}
-		}
-	}
+	best := s.newNode()
+	best.cost = math.Inf(1)
+	bestLev := s.newLevels(n2)
 
 	if e.tools.IntraPred {
 		var tIntra time.Time
@@ -529,85 +604,107 @@ func (e *encoder) decideLeaf(x, y, size int) *cuDec {
 			tIntra = time.Now()
 		}
 		refs := e.gatherRefs(x, y, size)
-		// Rank all modes by SAD, full-RD the top few plus Planar and DC.
-		type cand struct {
-			m   intra.Mode
-			sad int64
-		}
-		cands := make([]cand, 0, len(e.prof.Modes))
-		preds := map[intra.Mode][]int32{}
-		for _, m := range e.prof.Modes {
+		// Coarse-score all modes (SAD by default, SATD under FastSearch),
+		// full-RD only the top survivors. The smoothed reference rows are
+		// mode-independent, so they are computed at most once per leaf.
+		fast := e.prof.FastSearch && !e.prof.exhaustiveRD
+		var smRefs intra.Refs
+		smoothedReady := false
+		cands := s.cands[:0]
+		for mi, m := range e.prof.Modes {
 			r := refs
 			if e.prof.RefSmoothing && intra.UseSmoothing(size, m) {
-				r = refs.Smoothed()
-			}
-			pred := make([]int32, size*size)
-			intra.Predict(m, size, r, pred)
-			preds[m] = pred
-			var sad int64
-			for i := range orig {
-				d := orig[i] - pred[i]
-				if d < 0 {
-					d = -d
+				if !smoothedReady {
+					smRefs = refs.SmoothedInto(intra.Refs{Above: s.smAbove[:2*size], Left: s.smLeft[:2*size]})
+					smoothedReady = true
 				}
-				sad += int64(d)
+				r = smRefs
 			}
-			cands = append(cands, cand{m, sad})
-		}
-		// Stable top-K selection: ascending SAD, ties ranked in reverse
-		// scoring order — the last-scored tying mode wins, which for the
-		// shipped profiles prefers the higher angular mode over Planar/DC on
-		// flat blocks. This deterministic rule is part of the bitstream
-		// contract pinned by the golden conformance corpus (golden_test.go):
-		// changing it changes output bytes. An explicit insertion-based
-		// selection is used instead of sort.Slice both for allocation-freedom
-		// on the hot path and because sort.Slice's tie order is
-		// implementation-defined.
-		var top [rdCandidates]int
-		topN := 0
-		for ci := range cands {
-			pos := topN
-			for pos > 0 && cands[ci].sad <= cands[top[pos-1]].sad {
-				pos--
+			pred := s.predAt(mi, n2)
+			intra.Predict(m, size, r, pred)
+			var score int64
+			if fast {
+				score = satdCoarseScore(orig, pred, s.res[:], size)
+			} else {
+				for i := range orig {
+					d := orig[i] - pred[i]
+					if d < 0 {
+						d = -d
+					}
+					score += int64(d)
+				}
 			}
-			if pos >= len(top) {
-				continue
-			}
-			if topN < len(top) {
-				topN++
-			}
-			copy(top[pos+1:topN], top[pos:topN-1])
-			top[pos] = ci
+			cands = append(cands, modeCand{m: m, mi: mi, score: score})
 		}
 		if e.rec != nil {
-			// The SAD ranking (prediction of every profile mode) is the
+			// The coarse ranking (prediction of every profile mode) is the
 			// intra-search share; the full-RD trials below charge their
 			// transform+quant work to the transform stage on their own.
 			e.rec.intraNs += int64(time.Since(tIntra))
 		}
-		// Full RD on the top SAD candidates only; Planar and DC compete in
-		// the SAD ranking like every other mode.
-		for i := 0; i < topN; i++ {
-			tryIntraMode(cands[top[i]].m, preds[cands[top[i]].m])
+		switch {
+		case e.prof.exhaustiveRD:
+			// Quality ceiling (tests only): full RD on every mode in
+			// profile order, no coarse pruning.
+			for _, c := range cands {
+				e.tryIntraRD(c.m, orig, s.predAt(c.mi, n2), size, best, bestLev)
+			}
+		default:
+			// Stable top-K selection: ascending score, ties ranked in
+			// reverse scoring order — the last-scored tying mode wins, which
+			// for the shipped profiles prefers the higher angular mode over
+			// Planar/DC on flat blocks. This deterministic rule is part of
+			// the bitstream contract pinned by the golden conformance corpus
+			// (golden_test.go): changing it changes output bytes. An
+			// explicit insertion-based selection is used instead of
+			// sort.Slice both for allocation-freedom on the hot path and
+			// because sort.Slice's tie order is implementation-defined.
+			kTop := rdCandidates
+			if fast {
+				kTop = fastRDCandidates
+			}
+			var top [rdCandidates]int
+			topN := 0
+			for ci := range cands {
+				pos := topN
+				for pos > 0 && cands[ci].score <= cands[top[pos-1]].score {
+					pos--
+				}
+				if pos >= kTop {
+					continue
+				}
+				if topN < kTop {
+					topN++
+				}
+				copy(top[pos+1:topN], top[pos:topN-1])
+				top[pos] = ci
+			}
+			// Full RD on the top coarse candidates only; Planar and DC
+			// compete in the coarse ranking like every other mode.
+			for i := 0; i < topN; i++ {
+				e.tryIntraRD(cands[top[i]].m, orig, s.predAt(cands[top[i]].mi, n2), size, best, bestLev)
+			}
 		}
 	} else {
-		pred := make([]int32, size*size)
+		pred := s.pred[:n2]
 		for i := range pred {
 			pred[i] = 128
 		}
 		lev, dist, rbits := e.trialResidual(orig, pred, size, true)
-		best = &cuDec{mode: intra.DC, levels: lev, cost: dist + e.lambda*rbits}
+		*best = cuDec{mode: intra.DC, levels: bestLev, cost: dist + e.lambda*rbits}
+		copy(bestLev, lev)
 	}
 
 	if e.tools.InterPred && e.fIdx > 0 {
 		mvx, mvy := e.motionSearch(orig, x, y, size)
-		pred := make([]int32, size*size)
+		pred := s.pred[:n2]
 		e.motionPredict(pred, x, y, size, mvx, mvy)
 		lev, dist, rbits := e.trialResidual(orig, pred, size, false)
 		mvBits := float64(egLen(zigzagU(mvx), 1) + egLen(zigzagU(mvy), 1))
 		cost := dist + e.lambda*(rbits+mvBits+1)
 		if cost < best.cost {
-			best = &cuDec{inter: true, mvx: mvx, mvy: mvy, levels: lev, cost: cost}
+			*best = cuDec{inter: true, mvx: mvx, mvy: mvy, levels: bestLev, cost: cost}
+			copy(bestLev, lev)
 		}
 	}
 	return best
@@ -619,7 +716,7 @@ const searchRange = 7
 func (e *encoder) motionSearch(orig []int32, x, y, size int) (int32, int32) {
 	bestSAD := int64(math.MaxInt64)
 	var bx, by int32
-	pred := make([]int32, size*size)
+	pred := e.scr.mcPred[:size*size]
 	for my := -searchRange; my <= searchRange; my++ {
 		for mx := -searchRange; mx <= searchRange; mx++ {
 			e.motionPredict(pred, x, y, size, int32(mx), int32(my))
@@ -649,27 +746,30 @@ func absInt32(v int32) int32 {
 }
 
 // trialResidual transforms, quantizes and reconstructs the residual,
-// returning the levels, the SSE distortion and an estimated rate in bits.
+// returning the levels (in the scratch trial buffer — valid only until the
+// next trial), the SSE distortion and an estimated rate in bits.
 func (e *encoder) trialResidual(orig, pred []int32, size int, isIntra bool) ([]int32, float64, float64) {
 	var t0 time.Time
 	if e.rec != nil {
 		t0 = time.Now()
 	}
+	s := e.scr
 	n2 := size * size
-	res := make([]int32, n2)
+	res := s.res[:n2]
 	for i := range res {
 		res[i] = orig[i] - pred[i]
 	}
-	lev := make([]int32, n2)
+	lev := s.trialLev[:n2]
 	tr := e.transformFor(size, isIntra)
 	if e.tools.Transform {
-		coef := make([]int32, n2)
+		coef := s.coefA[:n2]
 		tr.Forward(coef, res)
 		dct.Quantize(lev, coef, e.qp)
 	} else {
 		quantizeSpatial(lev, res, e.qp)
 	}
-	rec := reconstructBlock(pred, lev, size, e.qp, e.tools.Transform, tr)
+	rec := s.rec[:n2]
+	reconstructBlockInto(rec, s.coefB[:n2], pred, lev, e.qp, e.tools.Transform, tr)
 	var sse float64
 	for i := range orig {
 		d := float64(orig[i] - rec[i])
@@ -681,16 +781,15 @@ func (e *encoder) trialResidual(orig, pred []int32, size int, isIntra bool) ([]i
 	return lev, sse, estimateLevelBits(lev, size, e.tools.Transform)
 }
 
-// reconstructBlock rebuilds pixel values from a prediction and levels; this
-// is the single reconstruction path shared (by construction) with the
-// decoder.
-func reconstructBlock(pred, levels []int32, size, qp int, useTransform bool, tr *dct.Transform) []int32 {
-	n2 := size * size
-	rec := make([]int32, n2)
+// reconstructBlockInto rebuilds pixel values from a prediction and levels
+// into rec, using coefScratch (same length) as the dequantization workspace;
+// this is the single reconstruction path shared (by construction) with the
+// decoder. rec must not alias pred or levels; coefScratch must not alias
+// levels.
+func reconstructBlockInto(rec, coefScratch, pred, levels []int32, qp int, useTransform bool, tr *dct.Transform) {
 	if useTransform {
-		coef := make([]int32, n2)
-		dct.Dequantize(coef, levels, qp)
-		tr.Inverse(rec, coef)
+		dct.Dequantize(coefScratch, levels, qp)
+		tr.Inverse(rec, coefScratch)
 	} else {
 		dequantizeSpatial(rec, levels, qp)
 	}
@@ -704,6 +803,14 @@ func reconstructBlock(pred, levels []int32, size, qp int, useTransform bool, tr 
 		}
 		rec[i] = v
 	}
+}
+
+// reconstructBlock is the allocating form of reconstructBlockInto, kept for
+// tests and out-of-band callers.
+func reconstructBlock(pred, levels []int32, size, qp int, useTransform bool, tr *dct.Transform) []int32 {
+	n2 := size * size
+	rec := make([]int32, n2)
+	reconstructBlockInto(rec, make([]int32, n2), pred, levels, qp, useTransform, tr)
 	return rec
 }
 

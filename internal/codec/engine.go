@@ -133,20 +133,26 @@ func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Pr
 		wallStart = time.Now()
 		m.poolWorkers.Observe(int64(workers))
 	}
-	encodeOne := func(i int) {
+	// Each pool worker checks out one scratch arena for its whole job run,
+	// so per-chunk encoder state is reused instead of reallocated; the
+	// serial (workers == 1) path shares the exact same code via a single
+	// checkout.
+	encodeOne := func(i int, scr *scratch) {
 		s := spans[i]
 		if m != nil {
 			t0 := time.Now()
-			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, m)
+			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, m, scr)
 			m.chunkNs.ObserveSince(t0)
 			return
 		}
-		payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, nil)
+		payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, nil, scr)
 	}
 	if workers == 1 {
+		scr := getScratch()
 		for i := range spans {
-			encodeOne(i)
+			encodeOne(i, scr)
 		}
+		putScratch(scr)
 		if m != nil {
 			wall := int64(time.Since(wallStart))
 			m.poolBusy.Add(wall)
@@ -161,12 +167,14 @@ func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Pr
 		go func(w int) {
 			defer wg.Done()
 			work := func() {
+				scr := getScratch()
 				var busy int64
 				for i := range jobs {
 					t0 := time.Now()
-					encodeOne(i)
+					encodeOne(i, scr)
 					busy += int64(time.Since(t0))
 				}
+				putScratch(scr)
 				if m != nil {
 					m.poolBusy.Add(busy)
 				}
@@ -499,7 +507,9 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Plane, []ChunkError) {
 	planes := make([]*frame.Plane, len(pc.dims))
 	errs := make([]error, len(pc.chunks))
-	decodeOne := func(i int) {
+	// Like the encode pool, each decode worker owns one scratch arena for
+	// its whole job run.
+	decodeOne := func(i int, scr *scratch) {
 		var t0 time.Time
 		if m != nil {
 			t0 = time.Now()
@@ -509,7 +519,7 @@ func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Pla
 			errs[i] = c.err
 			return
 		}
-		ps, err := decodeChunkPayload(c.payload, c.dims, pc.prof, pc.tools, pc.qp)
+		ps, err := decodeChunkPayload(c.payload, c.dims, pc.prof, pc.tools, pc.qp, scr)
 		if m != nil {
 			m.chunkNs.ObserveSince(t0)
 			m.chunks.Inc()
@@ -531,9 +541,11 @@ func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Pla
 		m.poolWorkers.Observe(int64(workers))
 	}
 	if workers == 1 {
+		scr := getScratch()
 		for i := range pc.chunks {
-			decodeOne(i)
+			decodeOne(i, scr)
 		}
+		putScratch(scr)
 		if m != nil {
 			wall := int64(time.Since(wallStart))
 			m.poolBusy.Add(wall)
@@ -547,12 +559,14 @@ func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Pla
 			go func(w int) {
 				defer wg.Done()
 				work := func() {
+					scr := getScratch()
 					var busy int64
 					for i := range jobs {
 						t0 := time.Now()
-						decodeOne(i)
+						decodeOne(i, scr)
 						busy += int64(time.Since(t0))
 					}
+					putScratch(scr)
 					if m != nil {
 						m.poolBusy.Add(busy)
 					}
@@ -599,7 +613,9 @@ func decodeV1(data []byte, m *decMetrics) ([]*frame.Plane, error) {
 	if m != nil {
 		t0 = time.Now()
 	}
-	planes, err := decodeChunkPayload(pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp)
+	s := getScratch()
+	planes, err := decodeChunkPayload(pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp, s)
+	putScratch(s)
 	if m != nil {
 		m.chunkNs.ObserveSince(t0)
 		m.chunks.Inc()

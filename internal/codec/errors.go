@@ -65,4 +65,3 @@ func classifyStreamErr(err error) error {
 		return fmt.Errorf("%v: %w", err, ErrCorrupt)
 	}
 }
-

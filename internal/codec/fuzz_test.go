@@ -2,7 +2,13 @@ package codec
 
 import (
 	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/frame"
 )
 
 // typedOrNil fails the fuzz run if err is non-nil but matches none of the
@@ -25,8 +31,10 @@ func typedOrNil(t *testing.T, label string, err error) {
 //   - when the strict decoder accepts, the partial decoder agrees: no chunk
 //     errors, identical plane geometry and pixels.
 //
-// Seeded with one valid container of each version so the fuzzer starts from
-// deep coverage rather than rediscovering the header format bit by bit.
+// Seeded with one valid container of each version, every golden conformance
+// vector (testdata/golden/*.l265 — all profiles, tool combinations, and
+// degenerate shapes) and a FastSearch-encoded stream, so the fuzzer starts
+// from deep coverage rather than rediscovering the header format bit by bit.
 func FuzzDecode(f *testing.F) {
 	v1, v2, v3, _ := corpusStreams(f)
 	f.Add(v1)
@@ -36,6 +44,36 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("L265"))
 	// A truncated v3 prefix keeps the fuzzer exploring the chunk table.
 	f.Add(v3[:len(v3)/2])
+	// The golden conformance corpus: known-good streams across every
+	// profile, container version and awkward shape the encoder ships.
+	goldens, err := filepath.Glob(filepath.Join("testdata", "golden", "*.l265"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(goldens) == 0 {
+		f.Fatal("no golden vectors found — run go test -run TestGoldenConformance -update")
+	}
+	for _, path := range goldens {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		if strings.Contains(path, "hevc") {
+			f.Add(blob[:len(blob)/2])
+		}
+	}
+	// A FastSearch-encoded stream: same syntax, different mode statistics,
+	// so the CABAC contexts get exercised from a second operating point.
+	fastProf := HEVC
+	fastProf.FastSearch = true
+	rng := rand.New(rand.NewSource(99))
+	fastStream, _, err := EncodeParallel(
+		[]*frame.Plane{gradientPlane(rng, 80, 56)}, 26, fastProf, AllTools, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fastStream)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		planes, strictErr := DecodeWorkers(data, 1)

@@ -129,11 +129,11 @@ func (m *encMetrics) recordEncodeTotals(st Stats, containerLen, payloadLen, nPla
 
 // decMetrics is the decode-side twin of encMetrics.
 type decMetrics struct {
-	calls, planes, chunks                *obs.Counter
+	calls, planes, chunks                 *obs.Counter
 	errCorrupt, errTruncated, errChecksum *obs.Counter
-	partialChunksLost, partialPlanesLost *obs.Counter
-	stageParse, chunkNs, poolWorkers     *obs.Histogram
-	poolBusy, poolWall                   *obs.Counter
+	partialChunksLost, partialPlanesLost  *obs.Counter
+	stageParse, chunkNs, poolWorkers      *obs.Histogram
+	poolBusy, poolWall                    *obs.Counter
 }
 
 func newDecMetrics(reg *obs.Registry) *decMetrics {

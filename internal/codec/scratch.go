@@ -1,0 +1,232 @@
+// Per-worker scratch arena for the encode/decode hot paths.
+//
+// The per-CU loop used to allocate fresh slices for every candidate mode of
+// every block — prediction, residual, coefficient, level and reconstruction
+// buffers, reference rows, the coverage mask, a snapshot per signaled split —
+// which put the pure-Go encoder allocator-bound instead of arithmetic-bound
+// (the paper's throughput target, §4, assumes NVENC-style fixed working
+// sets). A scratch arena makes the steady-state hot path allocation-free:
+//
+//   - Fixed block buffers, sized to the 32×32 maximum CU, are reused for
+//     every trial. Buffers that only live within one call (residual,
+//     coefficients, trial levels, reconstruction) are plain fields; the
+//     per-mode prediction buffers are a 35-way arena so all candidate modes
+//     stay live through the RD stage.
+//   - Decisions that outlive a call — cuDec nodes and the levels of decided
+//     leaves — come from chunked bump arenas that reset at each CTU (after
+//     emission, nothing from the previous CTU is reachable). Chunks are
+//     address-stable: grown blocks are appended, never reallocated, so
+//     retained pointers stay valid.
+//   - Frame-lifetime state (padded source, padded reconstruction, coverage
+//     mask) and sequence-lifetime state (entropy contexts, transforms, bin
+//     coders) are embedded and re-initialized per frame/chunk.
+//
+// Ownership rules (DESIGN.md §11): a scratch is owned by exactly one encoder
+// or decoder at a time — one per worker goroutine, never shared. Everything
+// returned across the package boundary (payload bytes, cropped planes) is
+// copied out of or allocated outside the arena, so pooling a scratch can
+// never alias escaped data. Scratches are pooled in a package-level
+// sync.Pool, so repeated EncodeStack/DecodeStack calls at the core boundary
+// reuse warm state; the pool is the only sanctioned way to obtain one.
+package codec
+
+import (
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/cabac"
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/intra"
+)
+
+// maxCU is the largest coding-unit edge any profile uses (HEVC/AV1 CTUs).
+const maxCU = 32
+
+// maxBlock is the area of the largest coding unit — the size every per-block
+// scratch buffer is provisioned for.
+const maxBlock = maxCU * maxCU
+
+// maxDepth bounds the quadtree recursion (32 → 16 → 8 → 4 plus slack).
+const maxDepth = 6
+
+// refSample is one raw reference sample during HEVC-style substitution.
+type refSample struct {
+	v  int32
+	ok bool
+}
+
+// modeCand is one coarse-scored intra candidate: the mode, its index in the
+// profile's mode list (which addresses its prediction in the preds arena)
+// and its SAD/SATD score.
+type modeCand struct {
+	m     intra.Mode
+	mi    int
+	score int64
+}
+
+// nodeBlockLen is the cuDec arena growth quantum.
+const nodeBlockLen = 256
+
+// levBlockLen is the levels arena growth quantum (int32 entries per block;
+// requests never exceed maxBlock, so any request fits in a fresh block).
+const levBlockLen = 1 << 14
+
+// scratch is the per-worker arena. See the package comment above for the
+// lifetime rules. The fixed arrays make one scratch a single ~200 KB
+// allocation; everything else grows on demand and is retained for reuse.
+type scratch struct {
+	// Per-trial block buffers (int32, one block each).
+	orig     [maxBlock]int32 // source samples of the block being decided
+	res      [maxBlock]int32 // residual (also FastSearch SATD input)
+	trialLev [maxBlock]int32 // candidate quantized levels
+	coefA    [maxBlock]int32 // forward-transform coefficients
+	coefB    [maxBlock]int32 // dequantized coefficients (reconstruction)
+	rec      [maxBlock]int32 // reconstructed samples
+	pred     [maxBlock]int32 // single prediction (apply/inter/decoder paths)
+	mcPred   [maxBlock]int32 // motion-search probe prediction
+
+	// predsArena holds one prediction block per profile mode so that every
+	// coarse-scored candidate stays available for the full-RD stage.
+	predsArena [intra.NumModes * maxBlock]int32
+	cands      [intra.NumModes]modeCand
+
+	// snap holds the recon-region snapshot for each signaled-split depth;
+	// snapshot lifetimes nest exactly like the recursion, so one buffer per
+	// depth suffices.
+	snap [maxDepth][maxBlock]uint8
+
+	// Intra reference rows: raw gather buffer plus the assembled and
+	// smoothed above/left arrays (2·maxCU each).
+	rawRefs             [4*maxCU + 1]refSample
+	refsAbove, refsLeft [2 * maxCU]int32
+	smAbove, smLeft     [2 * maxCU]int32
+
+	// Frame-lifetime state, reused across frames and chunks.
+	origPlane  frame.Plane // padded source
+	reconPlane frame.Plane // padded reconstruction
+	coded      []bool      // per-pixel coverage mask
+
+	// Sequence-lifetime state, re-initialized per chunk.
+	ctx      contexts
+	cabacEnc *cabac.Encoder
+	rawEnc   *bits.Writer
+
+	// Transforms for every size (4..32) plus the 4×4 DST-VII; profiles with
+	// smaller MaxTransform simply never look the larger ones up. Transform
+	// scratch is internal to *dct.Transform, which is why transforms belong
+	// to the per-worker scratch and not to a global.
+	transforms map[int]*dct.Transform
+	dst4       *dct.Transform
+
+	// Bump arenas for decisions that outlive their call; reset per CTU.
+	nodes              [][]cuDec
+	nodeBlock, nodeIdx int
+	levels             [][]int32
+	levBlock, levIdx   int
+
+	// Embedded encoder/decoder so per-chunk state needs no allocation.
+	enc encoder
+	dec decoder
+}
+
+// scratchPool recycles per-worker scratches across calls; see getScratch.
+var scratchPool = sync.Pool{New: func() any { return newScratch() }}
+
+func newScratch() *scratch {
+	s := &scratch{transforms: map[int]*dct.Transform{}, dst4: dct.NewDST4()}
+	for _, n := range []int{4, 8, 16, 32} {
+		s.transforms[n] = dct.NewDCT(n)
+	}
+	return s
+}
+
+// getScratch obtains a (possibly warm) scratch from the pool. The caller
+// owns it exclusively until putScratch.
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+// putScratch returns a scratch to the pool. The scratch must not be
+// referenced afterwards; everything handed out of the codec is copied, so no
+// escaped data can alias it.
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// contexts re-initializes and returns the embedded context set; every chunk
+// starts from the same adaptive state on both the encoder and decoder sides.
+func (s *scratch) contexts() *contexts {
+	s.ctx.init()
+	return &s.ctx
+}
+
+// binEnc returns the entropy back-end for a fresh chunk, reusing the
+// underlying engine and its output buffer. finish() hands back a slice
+// aliasing that buffer, so encodeChunk copies the payload out before the
+// scratch can be reused or pooled.
+func (s *scratch) binEnc(useCABAC bool) binEncoder {
+	if useCABAC {
+		if s.cabacEnc == nil {
+			s.cabacEnc = cabac.NewEncoder()
+		} else {
+			s.cabacEnc.Reset()
+		}
+		return cabacBinEnc{s.cabacEnc}
+	}
+	if s.rawEnc == nil {
+		s.rawEnc = bits.NewWriter()
+	} else {
+		s.rawEnc.Reset()
+	}
+	return rawBinEnc{s.rawEnc}
+}
+
+// codedMask returns the n-pixel coverage mask, grown as needed and cleared.
+func (s *scratch) codedMask(n int) []bool {
+	if cap(s.coded) < n {
+		s.coded = make([]bool, n)
+	}
+	s.coded = s.coded[:n]
+	clear(s.coded)
+	return s.coded
+}
+
+// predAt returns the prediction buffer of the mi-th profile mode, sized n2.
+func (s *scratch) predAt(mi, n2 int) []int32 {
+	return s.predsArena[mi*maxBlock : mi*maxBlock+n2 : mi*maxBlock+n2]
+}
+
+// resetCTU recycles the node and levels arenas. Called before each CTU's
+// decision pass: after the previous CTU was emitted, none of its decisions
+// are reachable.
+func (s *scratch) resetCTU() {
+	s.nodeBlock, s.nodeIdx = 0, 0
+	s.levBlock, s.levIdx = 0, 0
+}
+
+// newNode bump-allocates a zeroed cuDec with a stable address.
+func (s *scratch) newNode() *cuDec {
+	if s.nodeBlock >= len(s.nodes) {
+		s.nodes = append(s.nodes, make([]cuDec, nodeBlockLen))
+	}
+	n := &s.nodes[s.nodeBlock][s.nodeIdx]
+	*n = cuDec{}
+	s.nodeIdx++
+	if s.nodeIdx == nodeBlockLen {
+		s.nodeBlock++
+		s.nodeIdx = 0
+	}
+	return n
+}
+
+// newLevels bump-allocates an n-entry level slice (contents unspecified)
+// with a stable backing array. n must be ≤ levBlockLen.
+func (s *scratch) newLevels(n int) []int32 {
+	if s.levIdx+n > levBlockLen {
+		s.levBlock++
+		s.levIdx = 0
+	}
+	if s.levBlock >= len(s.levels) {
+		s.levels = append(s.levels, make([]int32, levBlockLen))
+	}
+	lev := s.levels[s.levBlock][s.levIdx : s.levIdx+n : s.levIdx+n]
+	s.levIdx += n
+	return lev
+}

@@ -26,6 +26,13 @@ type Options struct {
 	// structure intra prediction exploits; per-row trades that for finer
 	// quantization and suits outlier-heavy activations.
 	PerRowQuant bool
+	// FastSearch enables the codec's two-stage intra mode search (SATD
+	// coarse scoring, full rate-distortion only on the top survivors). It
+	// is an encoder-side speed knob: streams remain decodable by any
+	// decoder, but output bytes differ from the default search, and decoded
+	// quality may drift within the MSE envelope documented in DESIGN.md
+	// §11. Off by default so existing streams stay byte-identical.
+	FastSearch bool
 	// Workers sizes the parallel engine's worker pool for both encode and
 	// decode: each plane of a stack is an independent intra-only slice, so
 	// planes are encoded concurrently (mirroring the multiple NVENC/NVDEC
@@ -76,6 +83,11 @@ func (o Options) normalized() Options {
 	}
 	if o.MaxFrameH > o.Profile.MaxFrameDim {
 		o.MaxFrameH = o.Profile.MaxFrameDim
+	}
+	if o.FastSearch {
+		// The knob lives on the codec Profile; threading it here means every
+		// encode entry point (EncodeStack, rate control, MSE search) honors it.
+		o.Profile.FastSearch = true
 	}
 	return o
 }

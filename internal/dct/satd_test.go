@@ -1,0 +1,156 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hadamardMatrix builds the natural-order n×n Hadamard matrix by Sylvester
+// doubling. The butterfly network in satd4/satd8 produces the same transform
+// up to a row permutation, and the SATD sum of absolute coefficients is
+// permutation-invariant, so this is a valid independent reference.
+func hadamardMatrix(n int) [][]int64 {
+	h := [][]int64{{1}}
+	for len(h) < n {
+		m := len(h)
+		nh := make([][]int64, 2*m)
+		for i := range nh {
+			nh[i] = make([]int64, 2*m)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				nh[i][j] = h[i][j]
+				nh[i][j+m] = h[i][j]
+				nh[i+m][j] = h[i][j]
+				nh[i+m][j+m] = -h[i][j]
+			}
+		}
+		h = nh
+	}
+	return h
+}
+
+// refSATD computes H·M·Hᵀ by plain matrix multiplication and applies the
+// same normalization as the production code.
+func refSATD(res []int32, n int) int64 {
+	h := hadamardMatrix(n)
+	// t = H · M
+	t := make([][]int64, n)
+	for i := range t {
+		t[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += h[i][k] * int64(res[k*n+j])
+			}
+			t[i][j] = s
+		}
+	}
+	// sum |t · Hᵀ|
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += t[i][k] * h[j][k]
+			}
+			if s < 0 {
+				s = -s
+			}
+			sum += s
+		}
+	}
+	switch n {
+	case 4:
+		return (sum + 1) >> 1
+	default: // 8
+		return (sum + 2) >> 2
+	}
+}
+
+func TestSATDZeroResidual(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		if got := SATD(make([]int32, n*n), n); got != 0 {
+			t.Errorf("SATD(zero, %d) = %d, want 0", n, got)
+		}
+	}
+}
+
+func TestSATDConstantResidual(t *testing.T) {
+	// A constant block has all its Hadamard energy in the DC coefficient:
+	// n²·|v|, which the normalization maps to (n²/2)·|v| for 4×4 and
+	// (n²/4)·|v| per 8×8 tile.
+	res := make([]int32, 16)
+	for i := range res {
+		res[i] = -3
+	}
+	if got := SATD(res, 4); got != 8*3 {
+		t.Errorf("SATD(const -3, 4) = %d, want 24", got)
+	}
+	res = make([]int32, 64)
+	for i := range res {
+		res[i] = 5
+	}
+	if got := SATD(res, 8); got != 16*5 {
+		t.Errorf("SATD(const 5, 8) = %d, want 80", got)
+	}
+}
+
+func TestSATDMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8} {
+		for trial := 0; trial < 50; trial++ {
+			res := make([]int32, n*n)
+			for i := range res {
+				res[i] = int32(rng.Intn(511) - 255)
+			}
+			if got, want := SATD(res, n), refSATD(res, n); got != want {
+				t.Fatalf("n=%d trial %d: SATD = %d, reference = %d", n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSATDTilesLargeBlocks(t *testing.T) {
+	// 16×16 and 32×32 SATD must equal the sum of their independent 8×8
+	// tiles — the documented tiling contract.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{16, 32} {
+		res := make([]int32, n*n)
+		for i := range res {
+			res[i] = int32(rng.Intn(511) - 255)
+		}
+		var want int64
+		tile := make([]int32, 64)
+		for by := 0; by < n; by += 8 {
+			for bx := 0; bx < n; bx += 8 {
+				for y := 0; y < 8; y++ {
+					copy(tile[y*8:y*8+8], res[(by+y)*n+bx:(by+y)*n+bx+8])
+				}
+				want += SATD(tile, 8)
+			}
+		}
+		if got := SATD(res, n); got != want {
+			t.Errorf("n=%d: SATD = %d, tile sum = %d", n, got, want)
+		}
+	}
+}
+
+func TestSATDPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SATD accepted a mis-sized residual")
+		}
+	}()
+	SATD(make([]int32, 17), 4)
+}
+
+func TestSATDAllocationFree(t *testing.T) {
+	res := make([]int32, 32*32)
+	for i := range res {
+		res[i] = int32(i % 17)
+	}
+	if a := testing.AllocsPerRun(100, func() { SATD(res, 32) }); a != 0 {
+		t.Errorf("SATD allocates %.1f times per call, want 0", a)
+	}
+}

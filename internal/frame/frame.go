@@ -28,6 +28,24 @@ func (p *Plane) Set(x, y int, v uint8) { p.Pix[y*p.W+x] = v }
 // Row returns the y-th row as a slice aliasing the plane.
 func (p *Plane) Row(y int) []uint8 { return p.Pix[y*p.W : y*p.W+p.W] }
 
+// Reuse resizes p in place to w×h, reusing (and growing as needed) its pixel
+// buffer, and returns p. The pixel contents after Reuse are unspecified —
+// callers must write every pixel they later read. This is the zero-allocation
+// counterpart of NewPlane for pooled scratch planes that live across frames
+// (see the codec's per-worker scratch arena).
+func (p *Plane) Reuse(w, h int) *Plane {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid plane size %dx%d", w, h))
+	}
+	if n := w * h; cap(p.Pix) < n {
+		p.Pix = make([]uint8, n)
+	} else {
+		p.Pix = p.Pix[:n]
+	}
+	p.W, p.H = w, h
+	return p
+}
+
 // Clone returns a deep copy of the plane.
 func (p *Plane) Clone() *Plane {
 	q := NewPlane(p.W, p.H)

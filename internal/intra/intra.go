@@ -25,6 +25,10 @@ const (
 	NumModes            = 35
 )
 
+// MaxBlockSize is the largest block edge the codec predicts (the HEVC/AV1
+// CTU size). Prediction of blocks up to this size is allocation-free.
+const MaxBlockSize = 32
+
 // H264Modes is the reduced mode set used by the H.264-like profile
 // (9 modes, mirroring 4×4 AVC intra prediction directions).
 var H264Modes = []Mode{Planar, DC, ModeVertical, ModeHorizontal, 34, 2, 18, 22, 30}
@@ -82,7 +86,19 @@ func NewRefs(n int) Refs {
 // filter applied, which HEVC enables for larger blocks and oblique modes.
 func (r Refs) Smoothed() Refs {
 	n2 := len(r.Above)
-	s := Refs{Above: make([]int32, n2), Left: make([]int32, n2)}
+	return r.SmoothedInto(Refs{Above: make([]int32, n2), Left: make([]int32, n2)})
+}
+
+// SmoothedInto is Smoothed writing into dst's reference arrays, which must
+// have the same length as r's and must not alias them; it returns dst with
+// its Corner filled in. The filter output depends only on r, so callers may
+// reuse dst's arrays across blocks (the codec's scratch arena does).
+func (r Refs) SmoothedInto(dst Refs) Refs {
+	n2 := len(r.Above)
+	if len(dst.Above) != n2 || len(dst.Left) != n2 {
+		panic("intra: SmoothedInto size mismatch")
+	}
+	s := dst
 	s.Corner = (r.Left[0] + 2*r.Corner + r.Above[0] + 2) >> 2
 	for i := 0; i < n2; i++ {
 		am1, lm1 := r.Corner, r.Corner
@@ -170,8 +186,16 @@ func predictAngular(m Mode, n int, r Refs, dst []int32) {
 
 	// Build the main reference array ref[0..3n] where ref[n] is the corner
 	// sample; for vertical modes the main axis is the above row, for
-	// horizontal modes the left column (prediction then transposes).
-	ref := make([]int32, 3*n+1)
+	// horizontal modes the left column (prediction then transposes). For
+	// codec-sized blocks (n ≤ MaxBlockSize) the array lives on the stack so
+	// the per-mode prediction loop is allocation-free.
+	var refBuf [3*MaxBlockSize + 1]int32
+	var ref []int32
+	if n <= MaxBlockSize {
+		ref = refBuf[:3*n+1]
+	} else {
+		ref = make([]int32, 3*n+1)
+	}
 	main, side := r.Above, r.Left
 	if !vertical {
 		main, side = r.Left, r.Above

@@ -1,0 +1,29 @@
+// Allocation accounting for benchmark reports.
+//
+// The scratch-arena work (DESIGN.md §11) makes the codec's steady-state hot
+// path allocation-free, and the BENCH_*.json schema records allocs/op and
+// bytes/op columns so regressions are caught by `make bench-guard` rather
+// than discovered as GC pressure in production. AllocDelta is the shared
+// measurement primitive: it brackets a function call with runtime.MemStats
+// reads the same way testing.AllocsPerRun does, but returns both the
+// allocation count and the byte volume, and works outside the testing
+// framework (the llm265 CLI).
+package obs
+
+import "runtime"
+
+// AllocDelta runs fn and reports how many heap allocations (Mallocs) and
+// how many bytes (TotalAlloc) it performed. The measurement is process-wide:
+// run it with no other goroutines doing work, and warm any pools/caches
+// first — the first call through a sync.Pool-backed path pays one-time
+// setup that steady state does not. GC is forced before the baseline read so
+// a collection triggered mid-fn cannot skew the byte count with its own
+// bookkeeping allocations.
+func AllocDelta(fn func()) (allocs, bytes uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}

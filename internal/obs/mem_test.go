@@ -1,0 +1,30 @@
+package obs
+
+import "testing"
+
+var allocSink []byte
+
+func TestAllocDeltaCountsAllocations(t *testing.T) {
+	const n = 1 << 20
+	allocs, bytes := AllocDelta(func() {
+		allocSink = make([]byte, n)
+	})
+	if allocs < 1 {
+		t.Errorf("AllocDelta reported %d allocs for one make, want >= 1", allocs)
+	}
+	if bytes < n {
+		t.Errorf("AllocDelta reported %d bytes for a %d-byte make", bytes, n)
+	}
+	if allocs > 100 || bytes > 4*n {
+		t.Errorf("AllocDelta reported %d allocs / %d bytes — far more than the function did", allocs, bytes)
+	}
+}
+
+func TestAllocDeltaZeroForNoop(t *testing.T) {
+	// A no-op function must read as (close to) zero; the runtime may do a
+	// handful of its own allocations between the two MemStats reads.
+	allocs, _ := AllocDelta(func() {})
+	if allocs > 10 {
+		t.Errorf("AllocDelta reported %d allocs for a no-op", allocs)
+	}
+}
