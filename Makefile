@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke
+.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test
 
 all: build
 
@@ -36,7 +36,15 @@ race:
 # worker, and the intra/dct kernels that now execute inside pooled
 # scratch-arena workers (DESIGN.md §11).
 race-touched:
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/ ./internal/intra/ ./internal/dct/
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/ ./internal/intra/ ./internal/dct/ ./internal/serve/
+
+# The serve harness under the race detector: the integration suite, the
+# error-taxonomy table, the deadline/backpressure/drain tests and the
+# 64-client soak all run with -race so the admission scheduler, the shared
+# worker pool and the shared obs registry are exercised concurrently on
+# every CI pass (DESIGN.md §12).
+serve-test:
+	$(GO) test -race ./internal/serve/
 
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
@@ -46,8 +54,9 @@ fuzz-smoke:
 	$(GO) test ./internal/codec/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeStack -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
 
-ci: build vet test race fuzz-smoke bench-guard
+ci: build vet test serve-test race fuzz-smoke bench-guard
 
 # The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
 # deterministic synthetic stack with full metrics and writes a
@@ -68,7 +77,7 @@ bench-guard:
 # Regenerate the bench-guard baseline. Run on a quiet machine and commit the
 # result; keep the geometry small enough for CI to repeat cheaply.
 bench-baseline:
-	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -name baseline -out BENCH_baseline.json
+	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -name baseline -out BENCH_baseline.json
 
 # One pass over every paper-artifact micro-benchmark (testing.B).
 bench-micro:

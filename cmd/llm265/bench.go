@@ -38,6 +38,10 @@ type benchConfig struct {
 	Checksum   bool   `json:"checksum"`
 	FastSearch bool   `json:"fast_search"`
 	Seed       int64  `json:"seed"`
+	// Serve-mode configuration; zero when the run did not exercise the HTTP
+	// service (then the report carries no serve section).
+	ServeClients   int `json:"serve_clients,omitempty"`
+	ServePerClient int `json:"serve_per_client,omitempty"`
 }
 
 type benchResults struct {
@@ -68,6 +72,9 @@ type benchResults struct {
 	BitsBySite map[string]int64 `json:"bits_by_site"`
 	// DecodeErrors is the decode-error taxonomy; all zero on a healthy run.
 	DecodeErrors map[string]int64 `json:"decode_errors"`
+	// Serve carries the HTTP service benchmark (req/s, p50/p99 latency from
+	// /metricsz) when the run was invoked with -serve.
+	Serve *serveBenchResults `json:"serve,omitempty"`
 }
 
 // benchCmd runs a deterministic synthetic encode+decode workload with full
@@ -79,18 +86,21 @@ type benchResults struct {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		layers     = fs.Int("layers", 8, "synthetic stack depth")
-		rows       = fs.Int("rows", 512, "tensor rows per layer")
-		cols       = fs.Int("cols", 512, "tensor cols per layer")
-		qp         = fs.Int("qp", 30, "quantization parameter")
-		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		profile    = fs.String("profile", "h265", "codec profile: h264|h265|av1")
-		checksum   = fs.Bool("checksum", true, "use the checksummed v3 container")
-		fastSearch = fs.Bool("fast-search", false, "two-stage SATD-pruned intra mode search")
-		seed       = fs.Int64("seed", 265, "workload RNG seed")
-		name       = fs.String("name", "parallel", "benchmark name recorded in the report")
-		out        = fs.String("out", "", "report path (default BENCH_<name>.json, \"-\" = stdout)")
-		baseline   = fs.String("baseline", "", "compare against this BENCH_*.json (its config overrides the geometry flags); exit 6 on regression")
+		layers       = fs.Int("layers", 8, "synthetic stack depth")
+		rows         = fs.Int("rows", 512, "tensor rows per layer")
+		cols         = fs.Int("cols", 512, "tensor cols per layer")
+		qp           = fs.Int("qp", 30, "quantization parameter")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		profile      = fs.String("profile", "h265", "codec profile: h264|h265|av1")
+		checksum     = fs.Bool("checksum", true, "use the checksummed v3 container")
+		fastSearch   = fs.Bool("fast-search", false, "two-stage SATD-pruned intra mode search")
+		seed         = fs.Int64("seed", 265, "workload RNG seed")
+		name         = fs.String("name", "parallel", "benchmark name recorded in the report")
+		out          = fs.String("out", "", "report path (default BENCH_<name>.json, \"-\" = stdout)")
+		baseline     = fs.String("baseline", "", "compare against this BENCH_*.json (its config overrides the geometry flags); exit 6 on regression")
+		serveMode    = fs.Bool("serve", false, "also benchmark the HTTP service in-process: req/s and p50/p99 latency via /metricsz")
+		serveClients = fs.Int("serve-clients", 8, "concurrent clients for -serve")
+		serveReqs    = fs.Int("serve-reqs", 6, "requests per client for -serve")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -113,6 +123,12 @@ func benchCmd(args []string) {
 		*layers, *rows, *cols, *qp = c.Layers, c.Rows, c.Cols, c.QP
 		*workers, *profile, *checksum, *seed = c.Workers, c.Profile, c.Checksum, c.Seed
 		*fastSearch = c.FastSearch
+		// A baseline with a serve section is repeated with the same client
+		// mix so the serve bands compare like for like.
+		if c.ServeClients > 0 {
+			*serveMode = true
+			*serveClients, *serveReqs = c.ServeClients, c.ServePerClient
+		}
 	}
 
 	stack := syntheticStack(*layers, *rows, *cols, *seed)
@@ -164,6 +180,16 @@ func benchCmd(args []string) {
 	}
 	mse /= float64(len(dec))
 
+	// The serve-mode benchmark runs after the engine measurement so its HTTP
+	// traffic cannot perturb the wall times above.
+	var serveRes *serveBenchResults
+	if *serveMode {
+		serveRes, err = runServeBench(stack, *profile, *qp, *serveClients, *serveReqs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	snap := reg.Snapshot()
 	rawMB := float64(*layers**rows**cols) / 1e6 // one byte per sample post-quant
 	rep := benchReport{
@@ -176,45 +202,51 @@ func benchCmd(args []string) {
 			Workers: *workers, Profile: *profile, Checksum: *checksum,
 			FastSearch: *fastSearch, Seed: *seed,
 		},
-		Results: benchResults{
-			EncodeWallNs:     int64(encWall),
-			DecodeWallNs:     int64(decWall),
-			EncodeMBps:       rawMB / encWall.Seconds(),
-			DecodeMBps:       rawMB / decWall.Seconds(),
-			BitsPerValue:     enc.BitsPerValue(),
-			PixelMSE:         enc.Stats.MSE,
-			ValueMSE:         mse,
-			EncodeAllocs:     encAllocs,
-			EncodeAllocBytes: encBytes,
-			DecodeAllocs:     decAllocs,
-			DecodeAllocBytes: decBytes,
-			EncodePoolUtilization: poolUtilization(snap,
-				"codec.encode.pool.busy_ns", "codec.encode.pool.wall_ns"),
-			DecodePoolUtilization: poolUtilization(snap,
-				"codec.decode.pool.busy_ns", "codec.decode.pool.wall_ns"),
-			StageNs: map[string]int64{
-				"partition":       histSum(snap, "codec.encode.stage.partition_ns"),
-				"intra_search":    histSum(snap, "codec.encode.stage.intra_search_ns"),
-				"transform_quant": histSum(snap, "codec.encode.stage.transform_quant_ns"),
-				"entropy":         histSum(snap, "codec.encode.stage.entropy_ns"),
-				"container":       histSum(snap, "codec.encode.stage.container_ns"),
-				"parse":           histSum(snap, "codec.decode.stage.parse_ns"),
-			},
-			BitsBySite: map[string]int64{
-				"container": snap.Counters["codec.encode.bits.container"],
-				"partition": snap.Counters["codec.encode.bits.partition"],
-				"mode":      snap.Counters["codec.encode.bits.mode"],
-				"residual":  snap.Counters["codec.encode.bits.residual"],
-			},
-			DecodeErrors: map[string]int64{
-				"corrupt":     snap.Counters["codec.decode.errors.corrupt"],
-				"truncated":   snap.Counters["codec.decode.errors.truncated"],
-				"checksum":    snap.Counters["codec.decode.errors.checksum"],
-				"chunks_lost": snap.Counters["codec.decode.partial.chunks_lost"],
-			},
-		},
-		Metrics: snap,
+		Results: benchResults{},
 	}
+	if *serveMode {
+		rep.Config.ServeClients = *serveClients
+		rep.Config.ServePerClient = *serveReqs
+	}
+	rep.Results = benchResults{
+		EncodeWallNs:     int64(encWall),
+		DecodeWallNs:     int64(decWall),
+		EncodeMBps:       rawMB / encWall.Seconds(),
+		DecodeMBps:       rawMB / decWall.Seconds(),
+		BitsPerValue:     enc.BitsPerValue(),
+		PixelMSE:         enc.Stats.MSE,
+		ValueMSE:         mse,
+		EncodeAllocs:     encAllocs,
+		EncodeAllocBytes: encBytes,
+		DecodeAllocs:     decAllocs,
+		DecodeAllocBytes: decBytes,
+		EncodePoolUtilization: poolUtilization(snap,
+			"codec.encode.pool.busy_ns", "codec.encode.pool.wall_ns"),
+		DecodePoolUtilization: poolUtilization(snap,
+			"codec.decode.pool.busy_ns", "codec.decode.pool.wall_ns"),
+		StageNs: map[string]int64{
+			"partition":       histSum(snap, "codec.encode.stage.partition_ns"),
+			"intra_search":    histSum(snap, "codec.encode.stage.intra_search_ns"),
+			"transform_quant": histSum(snap, "codec.encode.stage.transform_quant_ns"),
+			"entropy":         histSum(snap, "codec.encode.stage.entropy_ns"),
+			"container":       histSum(snap, "codec.encode.stage.container_ns"),
+			"parse":           histSum(snap, "codec.decode.stage.parse_ns"),
+		},
+		BitsBySite: map[string]int64{
+			"container": snap.Counters["codec.encode.bits.container"],
+			"partition": snap.Counters["codec.encode.bits.partition"],
+			"mode":      snap.Counters["codec.encode.bits.mode"],
+			"residual":  snap.Counters["codec.encode.bits.residual"],
+		},
+		DecodeErrors: map[string]int64{
+			"corrupt":     snap.Counters["codec.decode.errors.corrupt"],
+			"truncated":   snap.Counters["codec.decode.errors.truncated"],
+			"checksum":    snap.Counters["codec.decode.errors.checksum"],
+			"chunks_lost": snap.Counters["codec.decode.partial.chunks_lost"],
+		},
+		Serve: serveRes,
+	}
+	rep.Metrics = snap
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -233,6 +265,12 @@ func benchCmd(args []string) {
 		*name, rep.Results.EncodeMBps, 100*rep.Results.EncodePoolUtilization,
 		rep.Results.DecodeMBps, 100*rep.Results.DecodePoolUtilization,
 		rep.Results.BitsPerValue, rep.Results.EncodeAllocs, rep.Results.DecodeAllocs, *out)
+	if sv := rep.Results.Serve; sv != nil {
+		fmt.Fprintf(os.Stderr,
+			"bench %s serve: %d clients, %.1f req/s, encode p99 %.2fms, decode p99 %.2fms, %d bounced\n",
+			*name, sv.Clients, sv.ReqPerSec,
+			float64(sv.EncodeP99Ns)/1e6, float64(sv.DecodeP99Ns)/1e6, sv.Rejected429)
+	}
 
 	if base != nil {
 		guardAgainstBaseline(base, &rep)
@@ -298,6 +336,18 @@ func guardAgainstBaseline(base, cur *benchReport) {
 		"encode %.2f MB/s, baseline %.2f MB/s", c.EncodeMBps, b.EncodeMBps)
 	check(timingEnforced, c.DecodeMBps >= guardSpeedFactor*b.DecodeMBps,
 		"decode %.2f MB/s, baseline %.2f MB/s", c.DecodeMBps, b.DecodeMBps)
+
+	// Serve bands: only compared when both reports carry a serve section
+	// (older baselines predate -serve). Throughput is banded like the engine
+	// numbers; the service must also have answered every request it accepted
+	// — a zero completed count means the harness itself broke.
+	if b.Serve != nil && c.Serve != nil {
+		check(true, c.Serve.Requests > 0,
+			"serve completed %d requests, baseline %d (service answered nothing)",
+			c.Serve.Requests, b.Serve.Requests)
+		check(timingEnforced, c.Serve.ReqPerSec >= guardSpeedFactor*b.Serve.ReqPerSec,
+			"serve %.2f req/s, baseline %.2f req/s", c.Serve.ReqPerSec, b.Serve.ReqPerSec)
+	}
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "bench-guard: %d regression(s) vs %s\n", failures, base.Name)

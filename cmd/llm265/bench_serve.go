@@ -1,0 +1,155 @@
+// The serve-mode benchmark: `llm265 bench -serve` stands up the real HTTP
+// service in-process on a loopback listener, hammers it with concurrent
+// clients mixing encode and decode requests, and reads the latency
+// distribution back through GET /metricsz — the same path an operator's
+// dashboard scrapes, so the benchmark doubles as an end-to-end check of the
+// metrics plumbing. Results land in the serve section of the BENCH_*.json
+// report and are banded by bench-guard like the engine numbers.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// serveBenchResults is the serve section of a benchReport.
+type serveBenchResults struct {
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"` // completed 2xx requests
+	WallNs      int64   `json:"wall_ns"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	EncodeP50Ns int64   `json:"encode_p50_ns"` // from /metricsz serve.encode.latency_ns
+	EncodeP99Ns int64   `json:"encode_p99_ns"`
+	DecodeP50Ns int64   `json:"decode_p50_ns"`
+	DecodeP99Ns int64   `json:"decode_p99_ns"`
+	QueueP99Ns  int64   `json:"queue_p99_ns"`
+	Rejected429 int64   `json:"rejected_429"`
+}
+
+// metricszSnapshot mirrors the /metricsz JSON shape (obs.Snapshot).
+type metricszSnapshot struct {
+	Counters   map[string]int64              `json:"counters"`
+	Histograms map[string]obs.HistogramStats `json:"histograms"`
+}
+
+// runServeBench serves one loopback instance and drives clients×perClient
+// requests (alternating encode and decode of the synthetic workload)
+// against it, then scrapes /metricsz for the latency distribution.
+func runServeBench(stack []*core.Tensor, profile string, qp, clients, perClient int) (*serveBenchResults, error) {
+	srv := serve.New(serve.Config{
+		MaxInflight: runtime.GOMAXPROCS(0),
+		MaxQueue:    2 * clients,
+		Workers:     1, // per-request serial codec: concurrency comes from the clients
+		Metrics:     obs.NewRegistry(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Precompute the request bodies once: the encode body (raw float32 LE)
+	// and a container for the decode direction.
+	rows, cols := stack[0].Rows, stack[0].Cols
+	var encBody bytes.Buffer
+	for _, t := range stack {
+		raw := make([]byte, 4*len(t.Data))
+		for i, v := range t.Data {
+			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+		}
+		encBody.Write(raw)
+	}
+	opts := core.DefaultOptions()
+	opts.Profile = profileByName(profile)
+	enc, err := opts.EncodeStack(stack, qp)
+	if err != nil {
+		return nil, err
+	}
+	container := enc.Marshal()
+	encURL := fmt.Sprintf("%s/v1/encode?layers=%d&rows=%d&cols=%d&qp=%d&profile=%s",
+		base, len(stack), rows, cols, qp, profile)
+	decURL := base + "/v1/decode"
+
+	var (
+		served   atomic.Int64
+		bounced  atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	client := &http.Client{}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				url, body := encURL, encBody.Bytes()
+				if (c+i)%2 == 1 {
+					url, body = decURL, container
+				}
+				resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					served.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					bounced.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("serve bench: unexpected status %d from %s", resp.StatusCode, url))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+
+	// Scrape the latency distribution the way an operator would.
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap metricszSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("serve bench: parsing /metricsz: %w", err)
+	}
+
+	return &serveBenchResults{
+		Clients:     clients,
+		Requests:    int(served.Load()),
+		WallNs:      int64(wall),
+		ReqPerSec:   float64(served.Load()) / wall.Seconds(),
+		EncodeP50Ns: snap.Histograms["serve.encode.latency_ns"].P50,
+		EncodeP99Ns: snap.Histograms["serve.encode.latency_ns"].P99,
+		DecodeP50Ns: snap.Histograms["serve.decode.latency_ns"].P50,
+		DecodeP99Ns: snap.Histograms["serve.decode.latency_ns"].P99,
+		QueueP99Ns:  snap.Histograms["serve.queue_wait_ns"].P99,
+		Rejected429: bounced.Load(),
+	}, nil
+}

@@ -52,13 +52,15 @@ func main() {
 		verifyCmd(os.Args[2:])
 	case "bench":
 		benchCmd(os.Args[2:])
+	case "serve":
+		serveCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|bench|serve [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,86 @@
+// The serve subcommand: the long-running HTTP face of the codec
+// (DESIGN.md §12).
+//
+//	llm265 serve -addr :8265 -workers 8 -max-inflight 4 -deadline 2s
+//
+// Endpoints: POST /v1/encode, POST /v1/decode, GET /healthz, GET /metricsz.
+// SIGTERM or SIGINT starts a graceful drain: the listener stops accepting,
+// /healthz flips to 503, inflight requests run to completion (bounded by
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", ":8265", "listen address")
+		workers      = fs.Int("workers", 0, "codec worker pool size per request (0 = GOMAXPROCS)")
+		maxInflight  = fs.Int("max-inflight", 4, "concurrently executing encode/decode jobs")
+		maxQueue     = fs.Int("max-queue", 0, "requests waiting for a slot before 429 (0 = 2×max-inflight)")
+		deadline     = fs.Duration("deadline", 0, "per-request compute budget (0 = none; clients can tighten with ?deadline_ms)")
+		maxBody      = fs.Int64("max-body", 1<<30, "request body cap in bytes (413 beyond)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for inflight requests")
+	)
+	fs.Parse(args)
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		Deadline:     *deadline,
+		MaxBodyBytes: *maxBody,
+		Metrics:      obs.NewRegistry(),
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("llm265 serve: listening on %s (max-inflight %d, max-queue %d, deadline %v)\n",
+			*addr, *maxInflight, *maxQueue, *deadline)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		// Listener died without a signal: configuration problem (bad addr,
+		// port in use) — report and fail.
+		fatal(err)
+	case sig := <-sigCh:
+		fmt.Printf("llm265 serve: %v, draining (timeout %v)\n", sig, *drainTimeout)
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503, new jobs get
+	// 503), let inflight jobs finish, then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "llm265 serve: drain incomplete: %v (%d request(s) abandoned)\n",
+			drainErr, srv.Inflight())
+		os.Exit(1)
+	}
+	fmt.Println("llm265 serve: drained, bye")
+}

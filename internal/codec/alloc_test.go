@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,9 +19,9 @@ import (
 // explicitly held scratch (bypassing the pool so GC-driven pool eviction
 // cannot flake the count).
 func encodeAllocs(planes []*frame.Plane, prof Profile, s *scratch) float64 {
-	encodeChunk(planes, 30, prof, AllTools, nil, s) // warm this geometry
+	encodeChunk(context.Background(), planes, 30, prof, AllTools, nil, s) // warm this geometry
 	return testing.AllocsPerRun(10, func() {
-		encodeChunk(planes, 30, prof, AllTools, nil, s)
+		encodeChunk(context.Background(), planes, 30, prof, AllTools, nil, s)
 	})
 }
 
@@ -56,7 +57,7 @@ func TestDecodeSteadyStateAllocationFree(t *testing.T) {
 	build := func(w, h int) ([]byte, [][2]int) {
 		planes := []*frame.Plane{gradientPlane(rng, w, h)}
 		s := newScratch()
-		payload, _ := encodeChunk(planes, 30, HEVC, AllTools, nil, s)
+		payload, _, _ := encodeChunk(context.Background(), planes, 30, HEVC, AllTools, nil, s)
 		return payload, [][2]int{{w, h}}
 	}
 	smallPay, smallDims := build(32, 32)
@@ -64,11 +65,11 @@ func TestDecodeSteadyStateAllocationFree(t *testing.T) {
 
 	s := newScratch()
 	measure := func(payload []byte, dims [][2]int) float64 {
-		if _, err := decodeChunkPayload(payload, dims, HEVC, AllTools, 30, s); err != nil {
+		if _, err := decodeChunkPayload(context.Background(), payload, dims, HEVC, AllTools, 30, s); err != nil {
 			t.Fatal(err)
 		}
 		return testing.AllocsPerRun(10, func() {
-			if _, err := decodeChunkPayload(payload, dims, HEVC, AllTools, 30, s); err != nil {
+			if _, err := decodeChunkPayload(context.Background(), payload, dims, HEVC, AllTools, 30, s); err != nil {
 				panic(err)
 			}
 		})

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 
 	"repro/internal/bits"
@@ -31,6 +32,10 @@ type decoder struct {
 	// for the duration of the chunk.
 	scr *scratch
 
+	// cancel, when non-nil, is a cancellable context polled once per CTU —
+	// the decoder-side twin of encoder.cancel (DESIGN.md §12).
+	cancel context.Context
+
 	prevMode intra.Mode
 }
 
@@ -49,7 +54,7 @@ func Decode(data []byte) ([]*frame.Plane, error) {
 // DecodeWorkers never panics on hostile input: every failure is a typed
 // error matching ErrCorrupt, ErrTruncated or ErrChecksum under errors.Is.
 func DecodeWorkers(data []byte, workers int) ([]*frame.Plane, error) {
-	return decodeDispatch(data, workers, nil)
+	return decodeDispatch(context.Background(), data, workers, nil)
 }
 
 // checkPreamble validates the fixed 8-byte preamble plus the minimum header
@@ -131,18 +136,22 @@ const maxDecodePixels = 1 << 28
 // frame dims into freshly allocated planes, using the caller's scratch s for
 // every transient buffer. Distinct chunks may be decoded concurrently as
 // long as each call owns its scratch.
-func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools, qp int, s *scratch) (planes []*frame.Plane, err error) {
+func decodeChunkPayload(ctx context.Context, payload []byte, dims [][2]int, prof Profile, tools Tools, qp int, s *scratch) (planes []*frame.Plane, err error) {
 	// recover() must be called directly by the deferred function, so the
 	// panic trap is inlined here rather than delegated to a helper. Known
-	// decode panics travel as decodeError values; anything else (an index
+	// decode panics travel as decodeError values; a cancelAbort carries a
+	// context cancellation out of the per-CTU loop; anything else (an index
 	// out of range, a failed allocation guard) is a defect we still refuse
 	// to let take the process down — it surfaces as ErrCorrupt with the
 	// panic payload preserved for debugging.
 	defer func() {
 		if r := recover(); r != nil {
-			if de, ok := r.(decodeError); ok {
-				err = classifyStreamErr(de.err)
-			} else {
+			switch v := r.(type) {
+			case decodeError:
+				err = classifyStreamErr(v.err)
+			case cancelAbort:
+				err = v.err
+			default:
 				err = corruptf("codec: decode panic: %v", r)
 			}
 			planes = nil
@@ -158,6 +167,7 @@ func decodeChunkPayload(payload []byte, dims [][2]int, prof Profile, tools Tools
 		transforms: s.transforms,
 		dst4:       s.dst4,
 		scr:        s,
+		cancel:     cancellable(ctx),
 	}
 	if tools.CABAC {
 		d.br = cabacBinDec{cabac.NewDecoder(payload)}
@@ -186,6 +196,13 @@ func (d *decoder) decodeFrame(srcW, srcH int) *frame.Plane {
 
 	for y := 0; y < d.h; y += d.prof.CTUSize {
 		for x := 0; x < d.w; x += d.prof.CTUSize {
+			// Cooperative cancellation point, mirroring the encoder: one
+			// poll per CTU, one nil check when not cancellable.
+			if d.cancel != nil {
+				if err := d.cancel.Err(); err != nil {
+					panic(cancelAbort{err})
+				}
+			}
 			d.parseCU(x, y, d.prof.CTUSize, 0)
 		}
 	}

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -50,6 +51,12 @@ type encoder struct {
 	// owned exclusively by this encoder for the duration of the chunk.
 	scr *scratch
 
+	// cancel, when non-nil, is a cancellable context polled once per CTU
+	// (cooperative cancellation, DESIGN.md §12): a canceled encode aborts via
+	// a cancelAbort panic that encodeChunk traps at the chunk boundary. Nil
+	// for non-cancellable contexts, so the hot path pays one pointer check.
+	cancel context.Context
+
 	prevModeEmit intra.Mode // mode predictor state for emission
 
 	// rec accumulates per-stage times and bit accounts for this chunk when
@@ -64,12 +71,12 @@ type encoder struct {
 // version-1 container; see EncodeParallel for the chunked multi-substream
 // engine.
 func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, Stats, error) {
-	return encodeSerial(planes, qp, prof, tools, nil)
+	return encodeSerial(context.Background(), planes, qp, prof, tools, nil)
 }
 
 // encodeSerial is the observable core of Encode: one shared-context
 // substream in the version-1 container.
-func encodeSerial(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics) ([]byte, Stats, error) {
+func encodeSerial(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof); err != nil {
 		return nil, Stats{}, err
 	}
@@ -78,8 +85,11 @@ func encodeSerial(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *e
 		chunkStart = time.Now()
 	}
 	s := getScratch()
-	payload, recs := encodeChunk(planes, qp, prof, tools, m, s)
+	payload, recs, err := encodeChunk(ctx, planes, qp, prof, tools, m, s)
 	putScratch(s)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	if m != nil {
 		m.chunkNs.ObserveSince(chunkStart)
 	}
@@ -137,7 +147,21 @@ func validateEncode(planes []*frame.Plane, qp int, prof Profile) error {
 // its encoder state, so distinct chunks may be encoded concurrently; the
 // per-chunk stage recorder is equally private and flushes into the shared
 // atomic metric handles only at the end of the call.
-func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics, s *scratch) ([]byte, []*frame.Plane) {
+//
+// Cancellation: the ctx (when cancellable) is polled once per CTU inside
+// encodeFrame; a cancellation aborts the chunk mid-flight via a cancelAbort
+// panic trapped here, returning ctx's error with no partial output. The
+// scratch stays reusable — every buffer is re-initialized per chunk anyway.
+func encodeChunk(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics, s *scratch) (payload []byte, recs []*frame.Plane, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ca, ok := r.(cancelAbort)
+			if !ok {
+				panic(r)
+			}
+			payload, recs, err = nil, nil, ca.err
+		}
+	}()
 	e := &s.enc
 	*e = encoder{
 		prof:       prof,
@@ -149,11 +173,12 @@ func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *en
 		dst4:       s.dst4,
 		scr:        s,
 		bw:         s.binEnc(tools.CABAC),
+		cancel:     cancellable(ctx),
 	}
 	if m != nil {
 		e.rec = &stageRecorder{m: m}
 	}
-	recs := make([]*frame.Plane, len(planes))
+	recs = make([]*frame.Plane, len(planes))
 	for i, p := range planes {
 		e.fIdx = i
 		e.encodeFrame(p)
@@ -164,12 +189,12 @@ func encodeChunk(planes []*frame.Plane, qp int, prof Profile, tools Tools, m *en
 	// caller still holds the bytes. The copy is also exact-size, so the
 	// container assembly never retains a grown append buffer.
 	out := e.bw.finish()
-	payload := make([]byte, len(out))
+	payload = make([]byte, len(out))
 	copy(payload, out)
 	if e.rec != nil {
 		e.rec.flush()
 	}
-	return payload, recs
+	return payload, recs, nil
 }
 
 // computeStats aggregates size and distortion over the source planes and
@@ -236,6 +261,15 @@ func (e *encoder) encodeFrame(src *frame.Plane) {
 
 	for y := 0; y < e.h; y += e.prof.CTUSize {
 		for x := 0; x < e.w; x += e.prof.CTUSize {
+			// Cooperative cancellation point: one poll per CTU (a CTU costs
+			// tens of microseconds, so cancellation latency stays far below
+			// the serve layer's 100ms promptness bound) and a single nil
+			// check when the encode is not cancellable.
+			if e.cancel != nil {
+				if err := e.cancel.Err(); err != nil {
+					panic(cancelAbort{err})
+				}
+			}
 			// Decisions from the previous CTU were emitted; recycle them.
 			e.scr.resetCTU()
 			if e.rec != nil {

@@ -45,6 +45,7 @@ package codec
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -121,9 +122,15 @@ func chunkSpans(planes []*frame.Plane, tools Tools) [][2]int {
 // reconstructions in span order. When metrics are enabled it additionally
 // records per-chunk makespans, pool busy/wall time (utilization =
 // busy/wall) and tags each worker goroutine with pprof labels.
-func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([][]byte, [][]*frame.Plane) {
+//
+// Cancellation: workers check ctx before picking up each chunk (skipping
+// queued jobs of a canceled call) and encodeChunk aborts mid-chunk at CTU
+// granularity; the first cancellation or chunk error is returned after the
+// pool drains, with no partial output.
+func encodeChunksParallel(ctx context.Context, planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([][]byte, [][]*frame.Plane, error) {
 	payloads := make([][]byte, len(spans))
 	recs := make([][]*frame.Plane, len(spans))
+	errs := make([]error, len(spans))
 	workers = normalizeWorkers(workers)
 	if workers > len(spans) {
 		workers = len(spans)
@@ -138,14 +145,17 @@ func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Pr
 	// serial (workers == 1) path shares the exact same code via a single
 	// checkout.
 	encodeOne := func(i int, scr *scratch) {
+		if errs[i] = ctxErr(ctx); errs[i] != nil {
+			return // canceled before the chunk started; skip the encode
+		}
 		s := spans[i]
 		if m != nil {
 			t0 := time.Now()
-			payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, m, scr)
+			payloads[i], recs[i], errs[i] = encodeChunk(ctx, planes[s[0]:s[1]], qp, prof, tools, m, scr)
 			m.chunkNs.ObserveSince(t0)
 			return
 		}
-		payloads[i], recs[i] = encodeChunk(planes[s[0]:s[1]], qp, prof, tools, nil, scr)
+		payloads[i], recs[i], errs[i] = encodeChunk(ctx, planes[s[0]:s[1]], qp, prof, tools, nil, scr)
 	}
 	if workers == 1 {
 		scr := getScratch()
@@ -158,7 +168,7 @@ func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Pr
 			m.poolBusy.Add(wall)
 			m.poolWall.Add(wall)
 		}
-		return payloads, recs
+		return payloads, recs, firstErr(errs)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -194,7 +204,17 @@ func encodeChunksParallel(planes []*frame.Plane, spans [][2]int, qp int, prof Pr
 	if m != nil {
 		m.poolWall.Add(int64(time.Since(wallStart)) * int64(workers))
 	}
-	return payloads, recs
+	return payloads, recs, firstErr(errs)
+}
+
+// firstErr returns the first non-nil error of a per-chunk error slice.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeCommonHeader emits the preamble and dim table shared by all container
@@ -222,11 +242,11 @@ func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, 
 // substreams are stitched in chunk order, so the output is byte-identical
 // for every worker count.
 func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int) ([]byte, Stats, error) {
-	return encodeParallel(planes, qp, prof, tools, workers, nil)
+	return encodeParallel(context.Background(), planes, qp, prof, tools, workers, nil)
 }
 
 // encodeParallel is the observable core of EncodeParallel.
-func encodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
+func encodeParallel(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof); err != nil {
 		return nil, Stats{}, err
 	}
@@ -237,9 +257,12 @@ func encodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 		// shared-context substream, 4-byte length prefix instead of a chunk
 		// table). This keeps small workloads bit-compatible with historical
 		// streams and free of chunking overhead.
-		return encodeSerial(planes, qp, prof, tools, m)
+		return encodeSerial(ctx, planes, qp, prof, tools, m)
 	}
-	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers, m)
+	payloads, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	var tContainer time.Time
 	if m != nil {
@@ -278,16 +301,19 @@ func encodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 // because integrity framing is the point. Output bytes are identical for
 // every worker count.
 func EncodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int) ([]byte, Stats, error) {
-	return encodeChecksummed(planes, qp, prof, tools, workers, nil)
+	return encodeChecksummed(context.Background(), planes, qp, prof, tools, workers, nil)
 }
 
 // encodeChecksummed is the observable core of EncodeChecksummed.
-func encodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
+func encodeChecksummed(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof); err != nil {
 		return nil, Stats{}, err
 	}
 	spans := chunkSpans(planes, tools)
-	payloads, recs := encodeChunksParallel(planes, spans, qp, prof, tools, workers, m)
+	payloads, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	var tContainer time.Time
 	if m != nil {
@@ -503,13 +529,19 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 // of `workers` goroutines. Failed chunks leave nil planes and produce a
 // ChunkError; recovered planes land at their container positions. With
 // metrics enabled it records per-chunk decode times, pool busy/wall time
-// and pprof worker labels, mirroring the encode pool.
-func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Plane, []ChunkError) {
+// and pprof worker labels, mirroring the encode pool. Cancellation mirrors
+// the encode pool too: queued chunks of a canceled call are skipped, and
+// in-flight chunks abort at CTU granularity; callers must check ctx after
+// the pool drains (a canceled call's error is ctx.Err(), not a ChunkError).
+func decodeChunks(ctx context.Context, pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Plane, []ChunkError) {
 	planes := make([]*frame.Plane, len(pc.dims))
 	errs := make([]error, len(pc.chunks))
 	// Like the encode pool, each decode worker owns one scratch arena for
 	// its whole job run.
 	decodeOne := func(i int, scr *scratch) {
+		if errs[i] = ctxErr(ctx); errs[i] != nil {
+			return // canceled before the chunk started; skip the decode
+		}
 		var t0 time.Time
 		if m != nil {
 			t0 = time.Now()
@@ -519,7 +551,7 @@ func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Pla
 			errs[i] = c.err
 			return
 		}
-		ps, err := decodeChunkPayload(c.payload, c.dims, pc.prof, pc.tools, pc.qp, scr)
+		ps, err := decodeChunkPayload(ctx, c.payload, c.dims, pc.prof, pc.tools, pc.qp, scr)
 		if m != nil {
 			m.chunkNs.ObserveSince(t0)
 			m.chunks.Inc()
@@ -604,7 +636,7 @@ func decodeChunks(pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Pla
 
 // decodeV1 parses the legacy single-substream container (kept as the
 // fast path for Decode on version-1 data; also exercised via DecodeWorkers).
-func decodeV1(data []byte, m *decMetrics) ([]*frame.Plane, error) {
+func decodeV1(ctx context.Context, data []byte, m *decMetrics) ([]*frame.Plane, error) {
 	pc, err := parseContainerObs(data, false, m)
 	if err != nil {
 		return nil, err
@@ -614,7 +646,7 @@ func decodeV1(data []byte, m *decMetrics) ([]*frame.Plane, error) {
 		t0 = time.Now()
 	}
 	s := getScratch()
-	planes, err := decodeChunkPayload(pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp, s)
+	planes, err := decodeChunkPayload(ctx, pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp, s)
 	putScratch(s)
 	if m != nil {
 		m.chunkNs.ObserveSince(t0)
@@ -626,12 +658,17 @@ func decodeV1(data []byte, m *decMetrics) ([]*frame.Plane, error) {
 // decodeChunked parses a version-2 or version-3 container and decodes its
 // substreams concurrently on a pool of `workers` goroutines, failing on the
 // first defective chunk.
-func decodeChunked(data []byte, workers int, m *decMetrics) ([]*frame.Plane, error) {
+func decodeChunked(ctx context.Context, data []byte, workers int, m *decMetrics) ([]*frame.Plane, error) {
 	pc, err := parseContainerObs(data, false, m)
 	if err != nil {
 		return nil, err
 	}
-	planes, chunkErrs := decodeChunks(pc, workers, m)
+	planes, chunkErrs := decodeChunks(ctx, pc, workers, m)
+	// Cancellation wins over chunk errors: a canceled call reports ctx.Err()
+	// bare, keeping ChunkError reserved for the bytes-driven taxonomy.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if len(chunkErrs) > 0 {
 		return nil, chunkErrs[0]
 	}
@@ -650,8 +687,8 @@ func parseContainerObs(data []byte, lenient bool, m *decMetrics) (*parsedContain
 }
 
 // decodeDispatch routes a container of any version to its decoder; shared
-// by Decode, DecodeWorkers and their Obs twins.
-func decodeDispatch(data []byte, workers int, m *decMetrics) ([]*frame.Plane, error) {
+// by Decode, DecodeWorkers and their Obs/Ctx twins.
+func decodeDispatch(ctx context.Context, data []byte, workers int, m *decMetrics) ([]*frame.Plane, error) {
 	if err := checkPreamble(data); err != nil {
 		return nil, err
 	}
@@ -660,9 +697,9 @@ func decodeDispatch(data []byte, workers int, m *decMetrics) ([]*frame.Plane, er
 	}
 	switch data[4] {
 	case 1:
-		return decodeV1(data, m)
+		return decodeV1(ctx, data, m)
 	case versionChunked, versionChecksummed:
-		return decodeChunked(data, workers, m)
+		return decodeChunked(ctx, data, workers, m)
 	default:
 		return nil, corruptf("codec: unsupported version %d", data[4])
 	}

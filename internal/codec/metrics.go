@@ -131,6 +131,7 @@ func (m *encMetrics) recordEncodeTotals(st Stats, containerLen, payloadLen, nPla
 type decMetrics struct {
 	calls, planes, chunks                 *obs.Counter
 	errCorrupt, errTruncated, errChecksum *obs.Counter
+	errCanceled                           *obs.Counter
 	partialChunksLost, partialPlanesLost  *obs.Counter
 	stageParse, chunkNs, poolWorkers      *obs.Histogram
 	poolBusy, poolWall                    *obs.Counter
@@ -147,6 +148,7 @@ func newDecMetrics(reg *obs.Registry) *decMetrics {
 		errCorrupt:        reg.Counter("codec.decode.errors.corrupt"),
 		errTruncated:      reg.Counter("codec.decode.errors.truncated"),
 		errChecksum:       reg.Counter("codec.decode.errors.checksum"),
+		errCanceled:       reg.Counter("codec.decode.errors.canceled"),
 		partialChunksLost: reg.Counter("codec.decode.partial.chunks_lost"),
 		partialPlanesLost: reg.Counter("codec.decode.partial.planes_lost"),
 		stageParse:        reg.Histogram("codec.decode.stage.parse_ns"),
@@ -165,6 +167,11 @@ func (m *decMetrics) countError(err error) {
 		return
 	}
 	switch {
+	case IsCancellation(err):
+		// Cancellation is the caller's doing, not a property of the bytes —
+		// counted on its own so dashboards can tell hostile input from
+		// impatient clients.
+		m.errCanceled.Inc()
 	case errors.Is(err, ErrChecksum):
 		m.errChecksum.Inc()
 	case errors.Is(err, ErrTruncated):
@@ -189,51 +196,28 @@ func workerLabels(pool string, worker int, f func()) {
 // EncodeObs is Encode with metrics recorded into reg (nil reg = exactly
 // Encode). See the package taxonomy above for the metric names.
 func EncodeObs(planes []*frame.Plane, qp int, prof Profile, tools Tools, reg *obs.Registry) ([]byte, Stats, error) {
-	return encodeSerial(planes, qp, prof, tools, newEncMetrics(reg))
+	return encodeSerial(context.Background(), planes, qp, prof, tools, newEncMetrics(reg))
 }
 
 // EncodeParallelObs is EncodeParallel with metrics recorded into reg.
 func EncodeParallelObs(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, reg *obs.Registry) ([]byte, Stats, error) {
-	return encodeParallel(planes, qp, prof, tools, workers, newEncMetrics(reg))
+	return encodeParallel(context.Background(), planes, qp, prof, tools, workers, newEncMetrics(reg))
 }
 
 // EncodeChecksummedObs is EncodeChecksummed with metrics recorded into reg.
 func EncodeChecksummedObs(planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, reg *obs.Registry) ([]byte, Stats, error) {
-	return encodeChecksummed(planes, qp, prof, tools, workers, newEncMetrics(reg))
+	return encodeChecksummed(context.Background(), planes, qp, prof, tools, workers, newEncMetrics(reg))
 }
 
 // DecodeWorkersObs is DecodeWorkers with metrics recorded into reg,
 // including the decode-error taxonomy counters.
 func DecodeWorkersObs(data []byte, workers int, reg *obs.Registry) ([]*frame.Plane, error) {
-	m := newDecMetrics(reg)
-	planes, err := decodeDispatch(data, workers, m)
-	if err != nil {
-		m.countError(err)
-		return nil, err
-	}
-	if m != nil {
-		m.planes.Add(int64(len(planes)))
-	}
-	return planes, nil
+	return DecodeWorkersCtx(context.Background(), data, workers, reg)
 }
 
 // DecodePartialObs is DecodePartial with metrics recorded into reg: each
 // failed chunk bumps its taxonomy counter, and the partial.chunks_lost /
 // partial.planes_lost counters account the recovery gap.
 func DecodePartialObs(data []byte, workers int, reg *obs.Registry) (*PartialResult, error) {
-	m := newDecMetrics(reg)
-	res, err := decodePartial(data, workers, m)
-	if err != nil {
-		m.countError(err)
-		return nil, err
-	}
-	if m != nil {
-		m.planes.Add(int64(res.Recovered()))
-		for _, ce := range res.Errors {
-			m.countError(ce.Err)
-			m.partialChunksLost.Inc()
-			m.partialPlanesLost.Add(int64(ce.PlaneCount))
-		}
-	}
-	return res, nil
+	return DecodePartialCtx(context.Background(), data, workers, reg)
 }

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/frame"
@@ -65,11 +66,11 @@ func (r *PartialResult) Recovered() int {
 // CRC-failing header, impossible chunk table. Like DecodeWorkers it never
 // panics on hostile input.
 func DecodePartial(data []byte, workers int) (*PartialResult, error) {
-	return decodePartial(data, workers, nil)
+	return decodePartial(context.Background(), data, workers, nil)
 }
 
 // decodePartial is the observable core of DecodePartial.
-func decodePartial(data []byte, workers int, m *decMetrics) (*PartialResult, error) {
+func decodePartial(ctx context.Context, data []byte, workers int, m *decMetrics) (*PartialResult, error) {
 	pc, err := parseContainerObs(data, true, m)
 	if err != nil {
 		return nil, err
@@ -77,6 +78,12 @@ func decodePartial(data []byte, workers int, m *decMetrics) (*PartialResult, err
 	if m != nil {
 		m.calls.Inc()
 	}
-	planes, chunkErrs := decodeChunks(pc, workers, m)
+	planes, chunkErrs := decodeChunks(ctx, pc, workers, m)
+	// Cancellation wins over partial recovery: the caller already walked
+	// away, so a canceled call reports ctx.Err() instead of a result whose
+	// "failed" chunks were merely skipped.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return &PartialResult{Planes: planes, Chunks: len(pc.chunks), Errors: chunkErrs}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -123,6 +124,14 @@ func (e *Encoded) BitsPerValue() float64 {
 // multi-frame sequence at the given QP (the paper's footnote-1 construction:
 // layer index as the temporal axis, luma only).
 func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
+	return o.EncodeStackCtx(context.Background(), stack, qp)
+}
+
+// EncodeStackCtx is EncodeStack under a context: the codec observes ctx
+// cancellation at pool, chunk and CTU granularity (DESIGN.md §12) and the
+// call returns ctx.Err() promptly with no output. With a background context
+// the output bytes are identical to EncodeStack.
+func (o Options) EncodeStackCtx(ctx context.Context, stack []*Tensor, qp int) (*Encoded, error) {
 	o = o.normalized()
 	if len(stack) == 0 {
 		return nil, errors.New("core: empty stack")
@@ -160,11 +169,11 @@ func (o Options) EncodeStack(stack []*Tensor, qp int) (*Encoded, error) {
 		planes = append(planes, frame.FromMatrix(pix, rows, cols, o.MaxFrameW, o.MaxFrameH)...)
 	}
 	quantSpan.End()
-	encode := codec.EncodeParallelObs
+	encode := codec.EncodeParallelCtx
 	if o.Checksum {
-		encode = codec.EncodeChecksummedObs
+		encode = codec.EncodeChecksummedCtx
 	}
-	stream, st, err := encode(planes, qp, o.Profile, o.Tools, o.Workers, o.Metrics)
+	stream, st, err := encode(ctx, planes, qp, o.Profile, o.Tools, o.Workers, o.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -294,13 +303,20 @@ func (e *Encoded) dequantLayer(l int, layerPlanes []*frame.Plane, regs []frame.R
 // independent bitstream chunks concurrently per o.Workers. It fails on the
 // first damaged chunk; see DecodeStackPartial for best-effort recovery.
 func (o Options) DecodeStack(e *Encoded) ([]*Tensor, error) {
+	return o.DecodeStackCtx(context.Background(), e)
+}
+
+// DecodeStackCtx is DecodeStack under a context: cancellation aborts the
+// remaining chunk decodes and returns ctx.Err() (never wrapped into the
+// decode-error taxonomy — see codec.IsCancellation).
+func (o Options) DecodeStackCtx(ctx context.Context, e *Encoded) ([]*Tensor, error) {
 	o = o.normalized()
 	if err := e.validate(); err != nil {
 		o.Metrics.Add("core.decode.errors", 1)
 		return nil, err
 	}
 	span := o.Metrics.StartSpan("core.decode_stack")
-	planes, err := codec.DecodeWorkersObs(e.Stream, o.Workers, o.Metrics)
+	planes, err := codec.DecodeWorkersCtx(ctx, e.Stream, o.Workers, o.Metrics)
 	if err != nil {
 		o.Metrics.Add("core.decode.errors", 1)
 		return nil, err

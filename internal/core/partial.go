@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/codec"
 	"repro/internal/frame"
 )
@@ -60,13 +62,20 @@ func (r *DecodeReport) LayerDamaged(l int) bool {
 // On an undamaged stream it returns the same tensors as DecodeStack with a
 // Complete() report, so callers can use it unconditionally.
 func (o Options) DecodeStackPartial(e *Encoded) ([]*Tensor, *DecodeReport, error) {
+	return o.DecodeStackPartialCtx(context.Background(), e)
+}
+
+// DecodeStackPartialCtx is DecodeStackPartial under a context. Cancellation
+// wins over partial recovery: a canceled call returns ctx.Err() rather than
+// a partial result, since the caller has already walked away.
+func (o Options) DecodeStackPartialCtx(ctx context.Context, e *Encoded) ([]*Tensor, *DecodeReport, error) {
 	o = o.normalized()
 	if err := e.validate(); err != nil {
 		o.Metrics.Add("core.decode.errors", 1)
 		return nil, nil, err
 	}
 	span := o.Metrics.StartSpan("core.decode_stack_partial")
-	res, err := codec.DecodePartialObs(e.Stream, o.Workers, o.Metrics)
+	res, err := codec.DecodePartialCtx(ctx, e.Stream, o.Workers, o.Metrics)
 	if err != nil {
 		o.Metrics.Add("core.decode.errors", 1)
 		return nil, nil, err

@@ -1,0 +1,252 @@
+// Package serve exposes the tensor codec as a long-running HTTP service
+// (DESIGN.md §12): the paper's serving scenario — remote KV-cache and weight
+// shards moving between GPU nodes — needs the codec behind a network edge
+// with admission control, deadlines and observability, not a one-shot CLI.
+//
+// Endpoints:
+//
+//	POST /v1/encode   raw float32 LE tensor body → .l265 container
+//	POST /v1/decode   .l265 (core) or codec-level container → planes/tensors
+//	GET  /healthz     liveness + admission state (503 while draining)
+//	GET  /metricsz    JSON snapshot of the shared obs registry
+//
+// Architecture: every request passes the admission scheduler — a semaphore
+// of max-inflight encode/decode jobs backed by a bounded wait queue. A full
+// queue answers 429 with Retry-After instead of letting latency collapse;
+// a draining server answers 503. Admitted requests run on the shared codec
+// worker pool under the request context, so a hung-up client or a blown
+// deadline stops burning CPU at the next CTU boundary (codec-level
+// cooperative cancellation) and the taxonomy-typed failure maps onto a
+// stable HTTP status (see status.go).
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config sizes the service. The zero value is usable: DefaultConfig bounds
+// are applied by New.
+type Config struct {
+	// Workers sizes the codec's worker pool used by each admitted request.
+	// 0 selects runtime.GOMAXPROCS(0) inside the codec.
+	Workers int
+	// MaxInflight bounds concurrently executing encode/decode jobs.
+	// Default 4.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot before the
+	// server answers 429. Default 2×MaxInflight.
+	MaxQueue int
+	// Deadline is the per-request compute budget (applied from admission,
+	// not from connection accept). 0 disables the server-side deadline;
+	// clients can always tighten it per request with ?deadline_ms=N.
+	Deadline time.Duration
+	// MaxBodyBytes caps request bodies. Default 1 GiB.
+	MaxBodyBytes int64
+	// Metrics receives the service and codec metrics and backs /metricsz.
+	// Nil allocates a private registry.
+	Metrics *obs.Registry
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInflight
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// serveMetrics holds the pre-resolved service-level metric handles
+// (taxonomy mirrors the codec layer's; all durations in nanoseconds):
+//
+//	serve.encode.requests / serve.decode.requests          counters
+//	serve.encode.latency_ns / serve.decode.latency_ns      histograms
+//	serve.queue_wait_ns                                    histogram
+//	serve.rejected.{queue_full,draining,too_large}         counters
+//	serve.errors.{corrupt,truncated,checksum,canceled}     counters
+//	serve.responses.{2xx,4xx,5xx}                          counters
+type serveMetrics struct {
+	encReq, decReq                     *obs.Counter
+	encLatency, decLatency, queueWait  *obs.Histogram
+	rejQueue, rejDraining, rejTooLarge *obs.Counter
+	errCorrupt, errTruncated           *obs.Counter
+	errChecksum, errCanceled           *obs.Counter
+	resp2xx, resp4xx, resp5xx          *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Registry) serveMetrics {
+	return serveMetrics{
+		encReq:       reg.Counter("serve.encode.requests"),
+		decReq:       reg.Counter("serve.decode.requests"),
+		encLatency:   reg.Histogram("serve.encode.latency_ns"),
+		decLatency:   reg.Histogram("serve.decode.latency_ns"),
+		queueWait:    reg.Histogram("serve.queue_wait_ns"),
+		rejQueue:     reg.Counter("serve.rejected.queue_full"),
+		rejDraining:  reg.Counter("serve.rejected.draining"),
+		rejTooLarge:  reg.Counter("serve.rejected.too_large"),
+		errCorrupt:   reg.Counter("serve.errors.corrupt"),
+		errTruncated: reg.Counter("serve.errors.truncated"),
+		errChecksum:  reg.Counter("serve.errors.checksum"),
+		errCanceled:  reg.Counter("serve.errors.canceled"),
+		resp2xx:      reg.Counter("serve.responses.2xx"),
+		resp4xx:      reg.Counter("serve.responses.4xx"),
+		resp5xx:      reg.Counter("serve.responses.5xx"),
+	}
+}
+
+// countStatus rolls an HTTP status into its class counter.
+func (m *serveMetrics) countStatus(status int) {
+	switch {
+	case status >= 500:
+		m.resp5xx.Inc()
+	case status >= 400:
+		m.resp4xx.Inc()
+	default:
+		m.resp2xx.Inc()
+	}
+}
+
+// Server is the codec service. Create with New, mount via Handler (an
+// http.Handler usable under httptest or any mux), and stop with Drain.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	m   serveMetrics
+	adm *admission
+	mux *http.ServeMux
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: cfg.Metrics,
+		m:   newServeMetrics(cfg.Metrics),
+		adm: newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/encode", s.handleEncode)
+	s.mux.HandleFunc("/v1/decode", s.handleDecode)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	return s
+}
+
+// Handler returns the service's http.Handler (the route mux). It is safe
+// for concurrent use and for mounting under httptest.NewServer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry backing /metricsz.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Inflight reports currently executing jobs; Queued reports jobs waiting
+// for an inflight slot.
+func (s *Server) Inflight() int { return s.adm.inflightNow() }
+
+// Queued reports requests waiting in the admission queue.
+func (s *Server) Queued() int { return int(s.adm.queued.Load()) }
+
+// Drain stops admitting work (new requests get 503) and blocks until every
+// inflight request has finished or ctx expires. It is idempotent; the first
+// error (ctx expiry) is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.adm.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.adm.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.adm.draining.Load() }
+
+// admission is the request scheduler: a counting semaphore of inflight
+// slots plus a bounded wait queue. It is deliberately channel-based so a
+// queued request can abandon its wait the moment its context dies.
+type admission struct {
+	sem      chan struct{} // cap = MaxInflight; a token is one running job
+	maxQueue int64
+	queued   atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup // running jobs, for Drain
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	return &admission{
+		sem:      make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+func (a *admission) inflightNow() int { return len(a.sem) }
+
+// admitError tells the handler how to reject a request that was not
+// admitted.
+type admitError struct {
+	status     int
+	retryAfter bool
+	reason     string
+}
+
+// admit blocks until the request holds an inflight slot, the queue
+// overflows, the server drains, or ctx dies. On success it returns a
+// release function that must be called exactly once.
+func (a *admission) admit(ctx context.Context) (release func(), rej *admitError) {
+	// wg.Add precedes the draining check so Drain's wg.Wait cannot miss a
+	// request that raced past the flag.
+	a.wg.Add(1)
+	if a.draining.Load() {
+		a.wg.Done()
+		return nil, &admitError{status: http.StatusServiceUnavailable, reason: "server is draining"}
+	}
+	release = func() {
+		<-a.sem
+		a.wg.Done()
+	}
+	// Fast path: a free slot right now.
+	select {
+	case a.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	// Queue path, bounded: beyond maxQueue waiters the request is bounced
+	// with 429 + Retry-After so callers back off instead of piling up.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.wg.Done()
+		return nil, &admitError{status: http.StatusTooManyRequests, retryAfter: true, reason: "admission queue full"}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		// The budget blew (or the client hung up) while still queued; map it
+		// through the same taxonomy as a mid-encode cancellation so the
+		// status is uniform wherever the deadline lands.
+		a.wg.Done()
+		return nil, &admitError{status: statusFor(ctx.Err()), reason: "request abandoned while queued: " + ctx.Err().Error()}
+	}
+}

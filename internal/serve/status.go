@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/codec"
+)
+
+// StatusClientClosedRequest is nginx's de-facto standard 499 for "the
+// client hung up before we answered" — distinct from 504 so dashboards can
+// tell impatient clients from blown compute budgets.
+const StatusClientClosedRequest = 499
+
+// statusFor maps the codec/core error taxonomy (plus cancellation) onto
+// stable HTTP statuses — the contract pinned by TestErrorTaxonomyStatuses:
+//
+//	codec.ErrTruncated         → 400 Bad Request        (stream ends early: refetch)
+//	codec.ErrChecksum          → 409 Conflict           (v3 CRC mismatch: bytes rotted)
+//	codec.ErrCorrupt           → 422 Unprocessable      (structurally wrong bitstream)
+//	context.DeadlineExceeded   → 504 Gateway Timeout    (compute budget blown)
+//	context.Canceled           → 499 (client closed request)
+//	anything else              → 400 Bad Request        (malformed request inputs)
+//
+// Order matters: cancellation is checked first because a canceled call
+// returns bare ctx.Err() that must never be mistaken for a payload error,
+// and ErrTruncated/ErrChecksum are checked before ErrCorrupt in case a
+// future error value wraps several classes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, codec.ErrChecksum):
+		return http.StatusConflict
+	case errors.Is(err, codec.ErrTruncated):
+		return http.StatusBadRequest
+	case errors.Is(err, codec.ErrCorrupt):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errClass names err's taxonomy class for the JSON error body and the
+// serve.errors.* counters.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, codec.ErrChecksum):
+		return "checksum"
+	case errors.Is(err, codec.ErrTruncated):
+		return "truncated"
+	case errors.Is(err, codec.ErrCorrupt):
+		return "corrupt"
+	default:
+		return "bad_request"
+	}
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// writeError emits the JSON error envelope with the mapped status and rolls
+// the taxonomy counters.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	switch {
+	case codec.IsCancellation(err):
+		s.m.errCanceled.Inc()
+	case errors.Is(err, codec.ErrChecksum):
+		s.m.errChecksum.Inc()
+	case errors.Is(err, codec.ErrTruncated):
+		s.m.errTruncated.Inc()
+	case errors.Is(err, codec.ErrCorrupt):
+		s.m.errCorrupt.Inc()
+	}
+	s.writeJSONError(w, status, err.Error(), errClass(err))
+}
+
+// writeJSONError writes an explicit status + message + class, for rejects
+// that do not originate from a Go error value (429, 503, 413, 405).
+func (s *Server) writeJSONError(w http.ResponseWriter, status int, msg, class string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, Class: class})
+	s.m.countStatus(status)
+}
