@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -38,6 +39,11 @@ type benchConfig struct {
 	Checksum   bool   `json:"checksum"`
 	FastSearch bool   `json:"fast_search"`
 	Seed       int64  `json:"seed"`
+	// BackendQP is the quantization parameter for the entropy-backend
+	// comparison section (denser than the headline QP so context-coded bins
+	// dominate and the cabac-vs-rans contrast is meaningful); zero skips the
+	// section.
+	BackendQP int `json:"backend_qp,omitempty"`
 	// Serve-mode configuration; zero when the run did not exercise the HTTP
 	// service (then the report carries no serve section).
 	ServeClients   int `json:"serve_clients,omitempty"`
@@ -75,6 +81,26 @@ type benchResults struct {
 	// Serve carries the HTTP service benchmark (req/s, p50/p99 latency from
 	// /metricsz) when the run was invoked with -serve.
 	Serve *serveBenchResults `json:"serve,omitempty"`
+	// Backends carries the cabac-vs-rans entropy-backend comparison when the
+	// run was invoked with a nonzero -backend-qp.
+	Backends *backendBenchResults `json:"backends,omitempty"`
+}
+
+// backendBenchResults compares the two entropy backends on the same stack at
+// Config.BackendQP, both in the checksummed v3 container so the only delta is
+// the entropy stage. Bits are exact container sizes (deterministic per
+// backend); the ratio is the compression price of rANS's parallel-decodable
+// payloads and is banded by bench-guard at guardRansRatioMax.
+type backendBenchResults struct {
+	CABACBits         int64   `json:"cabac_bits"`
+	RANSBits          int64   `json:"rans_bits"`
+	BitrateRatio      float64 `json:"bitrate_ratio"` // rans/cabac container bits
+	CABACBitsPerValue float64 `json:"cabac_bits_per_value"`
+	RANSBitsPerValue  float64 `json:"rans_bits_per_value"`
+	CABACEncodeMBps   float64 `json:"cabac_encode_mbps"`
+	RANSEncodeMBps    float64 `json:"rans_encode_mbps"`
+	CABACDecodeMBps   float64 `json:"cabac_decode_mbps"`
+	RANSDecodeMBps    float64 `json:"rans_decode_mbps"`
 }
 
 // benchCmd runs a deterministic synthetic encode+decode workload with full
@@ -95,6 +121,7 @@ func benchCmd(args []string) {
 		checksum     = fs.Bool("checksum", true, "use the checksummed v3 container")
 		fastSearch   = fs.Bool("fast-search", false, "two-stage SATD-pruned intra mode search")
 		seed         = fs.Int64("seed", 265, "workload RNG seed")
+		backendQP    = fs.Int("backend-qp", 16, "QP for the cabac-vs-rans backend comparison section (0 = skip)")
 		name         = fs.String("name", "parallel", "benchmark name recorded in the report")
 		out          = fs.String("out", "", "report path (default BENCH_<name>.json, \"-\" = stdout)")
 		baseline     = fs.String("baseline", "", "compare against this BENCH_*.json (its config overrides the geometry flags); exit 6 on regression")
@@ -123,6 +150,9 @@ func benchCmd(args []string) {
 		*layers, *rows, *cols, *qp = c.Layers, c.Rows, c.Cols, c.QP
 		*workers, *profile, *checksum, *seed = c.Workers, c.Profile, c.Checksum, c.Seed
 		*fastSearch = c.FastSearch
+		// Old baselines predate the backend section; skip it then so the
+		// comparison stays symmetric.
+		*backendQP = c.BackendQP
 		// A baseline with a serve section is repeated with the same client
 		// mix so the serve bands compare like for like.
 		if c.ServeClients > 0 {
@@ -190,6 +220,17 @@ func benchCmd(args []string) {
 		}
 	}
 
+	// The backend comparison likewise runs after the engine measurement, on
+	// its own uninstrumented options, so the headline metrics snapshot stays a
+	// pure record of the main workload.
+	var backendRes *backendBenchResults
+	if *backendQP > 0 {
+		backendRes, err = runBackendBench(stack, *profile, *backendQP, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	snap := reg.Snapshot()
 	rawMB := float64(*layers**rows**cols) / 1e6 // one byte per sample post-quant
 	rep := benchReport{
@@ -200,7 +241,7 @@ func benchCmd(args []string) {
 		Config: benchConfig{
 			Layers: *layers, Rows: *rows, Cols: *cols, QP: *qp,
 			Workers: *workers, Profile: *profile, Checksum: *checksum,
-			FastSearch: *fastSearch, Seed: *seed,
+			FastSearch: *fastSearch, Seed: *seed, BackendQP: *backendQP,
 		},
 		Results: benchResults{},
 	}
@@ -244,7 +285,8 @@ func benchCmd(args []string) {
 			"checksum":    snap.Counters["codec.decode.errors.checksum"],
 			"chunks_lost": snap.Counters["codec.decode.partial.chunks_lost"],
 		},
-		Serve: serveRes,
+		Serve:    serveRes,
+		Backends: backendRes,
 	}
 	rep.Metrics = snap
 
@@ -271,6 +313,12 @@ func benchCmd(args []string) {
 			*name, sv.Clients, sv.ReqPerSec,
 			float64(sv.EncodeP99Ns)/1e6, float64(sv.DecodeP99Ns)/1e6, sv.Rejected429)
 	}
+	if bk := rep.Results.Backends; bk != nil {
+		fmt.Fprintf(os.Stderr,
+			"bench %s backends (qp %d): rans/cabac bitrate %.4f (%d vs %d bits), decode %.1f vs %.1f MB/s\n",
+			*name, *backendQP, bk.BitrateRatio, bk.RANSBits, bk.CABACBits,
+			bk.RANSDecodeMBps, bk.CABACDecodeMBps)
+	}
 
 	if base != nil {
 		guardAgainstBaseline(base, &rep)
@@ -292,7 +340,58 @@ const (
 	guardAllocFactor   = 1.5  // allocs/op may grow at most 1.5x
 	guardAllocSlack    = 64   // plus a flat runtime-noise allowance
 	guardSpeedFactor   = 0.5  // MB/s may drop to at most half
+	// guardRansRatioMax caps the compression price of the rANS backend: its
+	// container may cost at most 2% more bits than CABAC's on the bench
+	// workload (a static shared table vs per-bin adaptation). Deterministic,
+	// so enforced on every machine.
+	guardRansRatioMax = 1.02
 )
+
+// runBackendBench encodes and decodes the stack once per entropy backend at
+// the comparison QP, both through the checksummed v3 container so the only
+// difference is the entropy stage. The main bench pass has already warmed the
+// scratch-arena pools.
+func runBackendBench(stack []*core.Tensor, profile string, qp, workers int) (*backendBenchResults, error) {
+	var bits [2]int64
+	var bpv, encMBps, decMBps [2]float64
+	rawMB := 0.0
+	for _, t := range stack {
+		rawMB += float64(len(t.Data)) / 1e6
+	}
+	for i, backend := range []codec.EntropyBackend{codec.BackendCABAC, codec.BackendRANS} {
+		opts := core.DefaultOptions()
+		opts.Profile = profileByName(profile)
+		opts.Workers = workers
+		opts.Checksum = true
+		opts.Backend = backend
+		encStart := time.Now()
+		enc, err := opts.EncodeStack(stack, qp)
+		if err != nil {
+			return nil, fmt.Errorf("backend bench %s encode: %w", backend, err)
+		}
+		encWall := time.Since(encStart)
+		decStart := time.Now()
+		if _, err := opts.DecodeStack(enc); err != nil {
+			return nil, fmt.Errorf("backend bench %s decode: %w", backend, err)
+		}
+		decWall := time.Since(decStart)
+		bits[i] = int64(enc.SizeBits())
+		bpv[i] = enc.BitsPerValue()
+		encMBps[i] = rawMB / encWall.Seconds()
+		decMBps[i] = rawMB / decWall.Seconds()
+	}
+	return &backendBenchResults{
+		CABACBits:         bits[0],
+		RANSBits:          bits[1],
+		BitrateRatio:      float64(bits[1]) / float64(bits[0]),
+		CABACBitsPerValue: bpv[0],
+		RANSBitsPerValue:  bpv[1],
+		CABACEncodeMBps:   encMBps[0],
+		RANSEncodeMBps:    encMBps[1],
+		CABACDecodeMBps:   decMBps[0],
+		RANSDecodeMBps:    decMBps[1],
+	}, nil
+}
 
 // guardAgainstBaseline compares the fresh run against the checked-in
 // baseline and exits 6 if any enforced band is violated. Timing bands are
@@ -336,6 +435,24 @@ func guardAgainstBaseline(base, cur *benchReport) {
 		"encode %.2f MB/s, baseline %.2f MB/s", c.EncodeMBps, b.EncodeMBps)
 	check(timingEnforced, c.DecodeMBps >= guardSpeedFactor*b.DecodeMBps,
 		"decode %.2f MB/s, baseline %.2f MB/s", c.DecodeMBps, b.DecodeMBps)
+
+	// Backend bands: the bitrate ratio and per-backend bits are deterministic
+	// and always enforced; rANS decode throughput is banded like the engine
+	// numbers. Compared only when both reports carry the section (older
+	// baselines predate -backend-qp).
+	if b.Backends != nil && c.Backends != nil {
+		check(true, c.Backends.BitrateRatio <= guardRansRatioMax,
+			"rans/cabac bitrate ratio %.4f exceeds %.2f (rANS payloads regressed)",
+			c.Backends.BitrateRatio, guardRansRatioMax)
+		check(true, relClose(c.Backends.RANSBitsPerValue, b.Backends.RANSBitsPerValue),
+			"rans bits/value %.9f, baseline %.9f (rans encode output drifted)",
+			c.Backends.RANSBitsPerValue, b.Backends.RANSBitsPerValue)
+		check(true, relClose(c.Backends.CABACBitsPerValue, b.Backends.CABACBitsPerValue),
+			"cabac bits/value %.9f, baseline %.9f (cabac encode output drifted)",
+			c.Backends.CABACBitsPerValue, b.Backends.CABACBitsPerValue)
+		check(timingEnforced, c.Backends.RANSDecodeMBps >= guardSpeedFactor*b.Backends.RANSDecodeMBps,
+			"rans decode %.2f MB/s, baseline %.2f MB/s", c.Backends.RANSDecodeMBps, b.Backends.RANSDecodeMBps)
+	}
 
 	// Serve bands: only compared when both reports carry a serve section
 	// (older baselines predate -serve). Throughput is banded like the engine

@@ -121,6 +121,7 @@ func encodeCmd(args []string) {
 		fastSearch = fs.Bool("fast-search", false, "two-stage SATD-pruned intra mode search (faster; bytes differ from the default search)")
 		workers    = fs.Int("workers", 0, "encode worker pool size (0 = GOMAXPROCS); output bytes are identical for any value")
 		checksum   = fs.Bool("checksum", false, "emit the hardened v3 container: CRC32C on header and every chunk, verified on decode")
+		backend    = fs.String("backend", "cabac", "entropy backend: cabac (adaptive arithmetic, default) or rans (interleaved static rANS; implies the v3 container)")
 		metrics    = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	fs.Parse(args)
@@ -146,6 +147,10 @@ func encodeCmd(args []string) {
 	opts.FastSearch = *fastSearch
 	opts.Workers = *workers
 	opts.Checksum = *checksum
+	opts.Backend, err = codec.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	reg, flush := openMetrics(*metrics)
 	opts.Metrics = reg
 
@@ -235,6 +240,7 @@ func infoCmd(args []string) {
 			checked = "yes (v3 container, CRC32C)"
 		}
 		fmt.Printf("checksummed: %s\n", checked)
+		fmt.Printf("backend:     %s\n", codec.StreamBackend(enc.Stream))
 	}
 }
 

@@ -57,7 +57,7 @@ func TestDecodeSteadyStateAllocationFree(t *testing.T) {
 	build := func(w, h int) ([]byte, [][2]int) {
 		planes := []*frame.Plane{gradientPlane(rng, w, h)}
 		s := newScratch()
-		payload, _, _ := encodeChunk(context.Background(), planes, 30, HEVC, AllTools, nil, s)
+		payload, _, _, _ := encodeChunk(context.Background(), planes, 30, HEVC, AllTools, nil, s)
 		return payload, [][2]int{{w, h}}
 	}
 	smallPay, smallDims := build(32, 32)
@@ -65,11 +65,11 @@ func TestDecodeSteadyStateAllocationFree(t *testing.T) {
 
 	s := newScratch()
 	measure := func(payload []byte, dims [][2]int) float64 {
-		if _, err := decodeChunkPayload(context.Background(), payload, dims, HEVC, AllTools, 30, s); err != nil {
+		if _, err := decodeChunkPayload(context.Background(), payload, dims, HEVC, AllTools, 30, nil, false, s); err != nil {
 			t.Fatal(err)
 		}
 		return testing.AllocsPerRun(10, func() {
-			if _, err := decodeChunkPayload(context.Background(), payload, dims, HEVC, AllTools, 30, s); err != nil {
+			if _, err := decodeChunkPayload(context.Background(), payload, dims, HEVC, AllTools, 30, nil, false, s); err != nil {
 				panic(err)
 			}
 		})

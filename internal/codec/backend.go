@@ -1,0 +1,457 @@
+// Interleaved-rANS entropy backend (EntropyBackend, DESIGN.md §13).
+//
+// The CABAC backend is bit-serial within a chunk: every bin's probability
+// depends on the adaptation caused by every earlier bin, so a chunk payload
+// cannot be decoded with intra-chunk parallelism. The rANS backend removes
+// that dependency with the paper's two-pass scheme (VcLLM):
+//
+//  1. Pass 1 (per chunk, parallel): the encoder runs exactly as under CABAC —
+//     same RD decisions, same syntax, same reconstructions — but the bin
+//     coder is a recorder: every context-coded bin is appended to its
+//     context slot's list and every bypass bin goes to a raw bit buffer. The
+//     recorder still adapts the cabac contexts (Context.Update), so the RD
+//     cost estimates see identical state and backend choice never perturbs
+//     decisions.
+//  2. Aggregate (once per container): per-slot zero/one counts from all
+//     chunks quantize into one shared 56-byte probability table, serialized
+//     in the v3 header's backend extension.
+//  3. Pass 2 (per chunk, cheap): the chunk's bins are laid out slot-major —
+//     all of slot 0's bins in emission order, then slot 1's, … — and coded
+//     through rans.Interleave independent static rANS states (bin i on
+//     state i%Interleave). Slot-major order is the load-bearing trick: the
+//     position→probability mapping is fully determined by the per-slot
+//     counts in the payload header, with no dependence on the syntax parse,
+//     so every state decodes its stride-4 subsequence independently.
+//
+// The decoder inverts this: parse the count table, pre-decode all bins
+// (lanes optionally on goroutines — the intra-chunk parallelism), then run
+// the ordinary serial syntax parse popping pre-decoded bins from per-slot
+// queues (contiguous slices of the slot-major array).
+//
+// rANS chunk payload layout (uvarint = unsigned LEB128):
+//
+//	uvarint bypassBitCount | ceil(bypassBitCount/8) bypass bytes (MSB-first)
+//	7-byte slot presence bitmap (bit s of byte s/8 ⇒ slot s has bins)
+//	per present slot: uvarint bin count
+//	if total bins > 0: 4 × uvarint segment length, then the 4 state segments
+//
+// Decoding is strict: counts, segment lengths and the bypass window must
+// tile the payload exactly, every rANS state must close on its initial
+// value, and the syntax parse must drain every queue and bypass bit.
+package codec
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/cabac"
+	"repro/internal/rans"
+)
+
+// nCtxSlots is the number of adaptive context slots in contexts (split[6] +
+// interFlag + modeSame + cbf[4] + sig[4][9] + g1[4] + g2[4]); the canonical
+// slot order is fixed by (*contexts).slotList and shared by the recorder,
+// the payload assembler, the header table and the decoder.
+const nCtxSlots = 56
+
+// ransLanes is the per-chunk interleave factor of the rANS backend.
+const ransLanes = rans.Interleave
+
+// slotList fills dst with pointers to every context in canonical slot
+// order. Both bitstream sides derive their slot numbering from this one
+// function, so the order is part of the bitstream contract.
+func (c *contexts) slotList(dst *[nCtxSlots]*cabac.Context) {
+	k := 0
+	for i := range c.split {
+		dst[k] = &c.split[i]
+		k++
+	}
+	dst[k] = &c.interFlag
+	k++
+	dst[k] = &c.modeSame
+	k++
+	for s := 0; s < 4; s++ {
+		dst[k] = &c.cbf[s]
+		k++
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 9; d++ {
+			dst[k] = &c.sig[s][d]
+			k++
+		}
+	}
+	for s := 0; s < 4; s++ {
+		dst[k] = &c.g1[s]
+		k++
+	}
+	for s := 0; s < 4; s++ {
+		dst[k] = &c.g2[s]
+		k++
+	}
+}
+
+// ransSlots returns the context-pointer→slot map for this scratch's
+// embedded context set. The contexts live at stable addresses inside the
+// scratch, so the map is built once per scratch and reused for every chunk.
+func (s *scratch) ransSlots() map[*cabac.Context]int {
+	if s.slotOf == nil {
+		var list [nCtxSlots]*cabac.Context
+		s.ctx.slotList(&list)
+		s.slotOf = make(map[*cabac.Context]int, nCtxSlots)
+		for i, p := range list {
+			s.slotOf[p] = i
+		}
+	}
+	return s.slotOf
+}
+
+// ---------------------------------------------------------------- encoding
+
+// ransRecord is pass 1's output for one chunk: per-slot context bins in
+// emission order plus the raw bypass bits. It is heap-allocated per chunk
+// (the rANS path trades the CABAC path's zero-alloc contract for
+// parallel-decode framing) and consumed by assemble in pass 2.
+type ransRecord struct {
+	slotBins [nCtxSlots][]uint8
+	bypass   *bits.Writer
+}
+
+func newRansRecord() *ransRecord {
+	return &ransRecord{bypass: bits.NewWriter()}
+}
+
+// ransBinEnc is the recording binEncoder. It mirrors CABAC's context
+// adaptation (Update) so the encoder's RD estimates — and therefore its
+// decisions and reconstructions — are identical under either backend.
+type ransBinEnc struct {
+	rec    *ransRecord
+	slotOf map[*cabac.Context]int
+}
+
+func (e ransBinEnc) bit(ctx *cabac.Context, bin int) {
+	s := e.slotOf[ctx]
+	e.rec.slotBins[s] = append(e.rec.slotBins[s], uint8(bin))
+	ctx.Update(bin)
+}
+func (e ransBinEnc) bypass(bin int)              { e.rec.bypass.WriteBit(bin) }
+func (e ransBinEnc) bypassBits(v uint32, n uint) { e.rec.bypass.WriteBits(uint64(v), n) }
+
+// finish is unused on the rANS path: the payload is assembled in pass 2,
+// after the shared table exists. encodeChunk never calls it when recording.
+func (e ransBinEnc) finish() []byte { return nil }
+
+// bitLen reports recorded bins plus bypass bits — the raw (1 bit/bin)
+// account the observability layer's stage attribution telescopes over.
+func (e ransBinEnc) bitLen() int {
+	n := e.rec.bypass.BitLen()
+	for s := range e.rec.slotBins {
+		n += len(e.rec.slotBins[s])
+	}
+	return n
+}
+
+// buildRansTable aggregates per-slot bin statistics across every chunk of a
+// container into the shared 56-byte probability table.
+func buildRansTable(recs []*ransRecord) [nCtxSlots]uint8 {
+	var zeros, ones [nCtxSlots]int64
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for s := range r.slotBins {
+			for _, b := range r.slotBins[s] {
+				if b == 0 {
+					zeros[s]++
+				} else {
+					ones[s]++
+				}
+			}
+		}
+	}
+	var tab [nCtxSlots]uint8
+	for s := range tab {
+		tab[s] = rans.QuantizeProb0(zeros[s], ones[s])
+	}
+	return tab
+}
+
+// assemble is pass 2: serialize one chunk's record against the shared
+// table. Deterministic — output depends only on the record and the table.
+func (r *ransRecord) assemble(tab *[nCtxSlots]uint8) []byte {
+	total := 0
+	for s := range r.slotBins {
+		total += len(r.slotBins[s])
+	}
+	bypassN := r.bypass.BitLen()
+	bypassBytes := r.bypass.Bytes()
+
+	var tmp [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, len(bypassBytes)+total/4+nCtxSlots+64)
+	out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(bypassN))]...)
+	out = append(out, bypassBytes...)
+
+	var bitmap [(nCtxSlots + 7) / 8]byte
+	for s := range r.slotBins {
+		if len(r.slotBins[s]) > 0 {
+			bitmap[s/8] |= 1 << (s % 8)
+		}
+	}
+	out = append(out, bitmap[:]...)
+	for s := range r.slotBins {
+		if n := len(r.slotBins[s]); n > 0 {
+			out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(n))]...)
+		}
+	}
+	if total == 0 {
+		return out
+	}
+
+	// Slot-major canonical sequence with its positional frequencies.
+	binSeq := make([]uint8, 0, total)
+	freqSeq := make([]uint32, 0, total)
+	for s := range r.slotBins {
+		f0 := rans.ProbToFreq(tab[s])
+		for _, b := range r.slotBins[s] {
+			binSeq = append(binSeq, b)
+			freqSeq = append(freqSeq, f0)
+		}
+	}
+	var encs [ransLanes]rans.BinEncoder
+	for j := range encs {
+		encs[j].Reset()
+	}
+	for i := total - 1; i >= 0; i-- {
+		encs[i%ransLanes].Put(int(binSeq[i]), freqSeq[i])
+	}
+	var segs [ransLanes][]byte
+	for j := range encs {
+		segs[j] = encs[j].Finish()
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(segs[j])))]...)
+	}
+	for j := range segs {
+		out = append(out, segs[j]...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- decoding
+
+// ransChunk is a chunk payload after the parallel pre-decode: per-slot bin
+// queues (contiguous windows of the slot-major array) and the bypass
+// reader, consumed by the serial syntax parse through ransBinDec.
+type ransChunk struct {
+	bins    []uint8
+	prefix  [nCtxSlots + 1]int
+	qPos    [nCtxSlots]int
+	bypass  *bits.Reader
+	bypassN int
+}
+
+// maxRansBins caps the bin count a chunk payload may declare, relative to
+// the chunk's header-declared pixel area: the syntax never emits more than
+// a handful of context bins per coefficient, so 32/pixel is generous slack
+// while keeping a forged count table from committing a large allocation.
+func maxRansBins(chunkPixels int64) int64 {
+	cap64 := 32*chunkPixels + 4096
+	if cap64 > maxDecodePixels {
+		cap64 = maxDecodePixels
+	}
+	return cap64
+}
+
+// parseRansPayload validates one rANS chunk payload against the shared
+// table and pre-decodes every context bin. With parallel=true the
+// interleaved states decode on one goroutine each — the intra-chunk
+// parallelism CABAC cannot offer; output is identical either way, since the
+// states write disjoint stride-ransLanes index sets.
+func parseRansPayload(payload []byte, tab *[nCtxSlots]uint8, chunkPixels int64, parallel bool) (*ransChunk, error) {
+	off := 0
+	uvarint := func(what string) (int64, error) {
+		v, k := binary.Uvarint(payload[off:])
+		if k <= 0 || v > 1<<62 {
+			return 0, corruptf("codec: rans %s unreadable", what)
+		}
+		off += k
+		return int64(v), nil
+	}
+	bypassN, err := uvarint("bypass count")
+	if err != nil {
+		return nil, err
+	}
+	if bypassN > 2*maxRansBins(chunkPixels) {
+		return nil, corruptf("codec: rans declares %d bypass bits for %d pixels", bypassN, chunkPixels)
+	}
+	bypassBytes := int((bypassN + 7) / 8)
+	if len(payload)-off < bypassBytes {
+		return nil, truncatedf("codec: rans payload ends inside %d bypass bytes", bypassBytes)
+	}
+	c := &ransChunk{
+		bypass:  bits.NewReader(payload[off : off+bypassBytes]),
+		bypassN: int(bypassN),
+	}
+	off += bypassBytes
+
+	const bitmapLen = (nCtxSlots + 7) / 8
+	if len(payload)-off < bitmapLen {
+		return nil, truncatedf("codec: rans payload ends inside slot bitmap")
+	}
+	bitmap := payload[off : off+bitmapLen]
+	off += bitmapLen
+	total := int64(0)
+	for s := 0; s < nCtxSlots; s++ {
+		c.prefix[s] = int(total)
+		if bitmap[s/8]&(1<<(s%8)) == 0 {
+			continue
+		}
+		n, err := uvarint("slot count")
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, corruptf("codec: rans slot %d present with zero bins", s)
+		}
+		total += n
+		if total > maxRansBins(chunkPixels) {
+			return nil, corruptf("codec: rans declares %d bins for %d pixels", total, chunkPixels)
+		}
+	}
+	c.prefix[nCtxSlots] = int(total)
+	if total == 0 {
+		if off != len(payload) {
+			return nil, corruptf("codec: rans %d trailing bytes after empty bin table", len(payload)-off)
+		}
+		return c, nil
+	}
+
+	var segLens [ransLanes]int
+	segTotal := 0
+	for j := range segLens {
+		n, err := uvarint("segment length")
+		if err != nil {
+			return nil, err
+		}
+		if n > int64(len(payload)) {
+			return nil, corruptf("codec: rans segment %d declares %d bytes", j, n)
+		}
+		segLens[j] = int(n)
+		segTotal += int(n)
+	}
+	if len(payload)-off != segTotal {
+		// Exact-length rule, as everywhere in the container: segments tile
+		// the rest of the payload precisely.
+		return nil, corruptf("codec: rans segments declare %d bytes, %d remain", segTotal, len(payload)-off)
+	}
+	var segs [ransLanes][]byte
+	for j, n := range segLens {
+		segs[j] = payload[off : off+n]
+		off += n
+	}
+
+	// Positional frequency of slot s, shared by all lanes.
+	var f0 [nCtxSlots]uint32
+	for s := range f0 {
+		f0[s] = rans.ProbToFreq(tab[s])
+	}
+	c.bins = make([]uint8, total)
+	lane := func(j int) error {
+		var dec rans.BinDecoder
+		if err := dec.Init(segs[j]); err != nil {
+			return err
+		}
+		s := 0
+		for i := j; i < int(total); i += ransLanes {
+			for i >= c.prefix[s+1] {
+				s++
+			}
+			bin, err := dec.Get(f0[s])
+			if err != nil {
+				return err
+			}
+			c.bins[i] = uint8(bin)
+		}
+		return dec.Close()
+	}
+	var laneErrs [ransLanes]error
+	if parallel {
+		var wg sync.WaitGroup
+		for j := 0; j < ransLanes; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				laneErrs[j] = lane(j)
+			}(j)
+		}
+		wg.Wait()
+	} else {
+		for j := 0; j < ransLanes; j++ {
+			laneErrs[j] = lane(j)
+		}
+	}
+	for j, err := range laneErrs {
+		if err != nil {
+			return nil, corruptf("codec: rans state %d: %v", j, err)
+		}
+	}
+	return c, nil
+}
+
+// close verifies the strict end-of-chunk invariants after the syntax parse:
+// every pre-decoded bin and every bypass bit must have been consumed, so a
+// payload that decodes the declared geometry with symbols left over is a
+// corruption, not a success.
+func (c *ransChunk) close() error {
+	for s := 0; s < nCtxSlots; s++ {
+		if have, used := c.prefix[s+1]-c.prefix[s], c.qPos[s]; used != have {
+			return corruptf("codec: rans slot %d: %d of %d bins consumed", s, used, have)
+		}
+	}
+	if c.bypass.BitPos() != c.bypassN {
+		return corruptf("codec: rans %d of %d bypass bits consumed", c.bypass.BitPos(), c.bypassN)
+	}
+	return nil
+}
+
+// ransBinDec is the binDecoder the serial syntax parse runs against: bits
+// come from the pre-decoded per-slot queues, bypass from the raw window.
+type ransBinDec struct {
+	c      *ransChunk
+	slotOf map[*cabac.Context]int
+}
+
+func (d ransBinDec) bit(ctx *cabac.Context) int {
+	s := d.slotOf[ctx]
+	i := d.c.prefix[s] + d.c.qPos[s]
+	if i >= d.c.prefix[s+1] {
+		// The parse wants more bins for this slot than the payload declared.
+		panic(decodeError{errMalformed})
+	}
+	d.c.qPos[s]++
+	return int(d.c.bins[i])
+}
+
+func (d ransBinDec) bypass() int {
+	b, err := d.c.bypass.ReadBit()
+	if err != nil {
+		panic(decodeError{err})
+	}
+	return b
+}
+
+func (d ransBinDec) bypassBits(n uint) uint32 {
+	v, err := d.c.bypass.ReadBits(n)
+	if err != nil {
+		panic(decodeError{err})
+	}
+	return uint32(v)
+}
+
+// dimsPixels sums the source pixel area of a chunk's frame dims (already
+// bounded by maxDecodePixels at header parse).
+func dimsPixels(dims [][2]int) int64 {
+	var n int64
+	for _, d := range dims {
+		n += int64(d[0]) * int64(d[1])
+	}
+	return n
+}

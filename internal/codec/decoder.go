@@ -75,31 +75,69 @@ func checkPreamble(data []byte) error {
 }
 
 // parseCommonHeader reads the header fields shared by both container
-// versions (profile, tools, qp, frame count and dims), returning the offset
-// of the first version-specific byte.
-func parseCommonHeader(data []byte) (prof Profile, tools Tools, qp int, dims [][2]int, off int, err error) {
+// versions (profile, tools, qp, the optional entropy-backend extension,
+// frame count and dims), returning the offset of the first version-specific
+// byte. ransTab is non-nil iff the header carries a valid rANS backend
+// extension, in which case tools.Backend is set to BackendRANS.
+func parseCommonHeader(data []byte) (prof Profile, tools Tools, qp int, dims [][2]int, ransTab *[nCtxSlots]uint8, off int, err error) {
+	fail := func(err error) (Profile, Tools, int, [][2]int, *[nCtxSlots]uint8, int, error) {
+		return prof, tools, 0, nil, nil, 0, err
+	}
 	prof, ok := profileByID[data[5]]
 	if !ok {
-		return prof, tools, 0, nil, 0, corruptf("codec: unknown profile id %d", data[5])
+		return fail(corruptf("codec: unknown profile id %d", data[5]))
 	}
 	tools = toolsFromBits(data[6])
 	qp = int(data[7])
 	if qp > dct.MaxQP {
-		return prof, tools, 0, nil, 0, corruptf("codec: qp %d out of range", qp)
+		return fail(corruptf("codec: qp %d out of range", qp))
 	}
 	off = 8
+	if data[6]&toolsBackendExt != 0 {
+		// Backend extension: backend id, then (for rANS) the slot count and
+		// the shared probability table. Every reserved id — including 0,
+		// since a CABAC stream never carries the extension — is a structural
+		// violation, never misparsed as some other backend.
+		if len(data) < off+1 {
+			return fail(truncatedf("codec: header ends before backend id"))
+		}
+		id := data[off]
+		off++
+		if id != uint8(BackendRANS) {
+			return fail(corruptf("codec: unknown entropy backend %d", id))
+		}
+		if len(data) < off+1+nCtxSlots {
+			return fail(truncatedf("codec: header ends inside backend extension"))
+		}
+		if data[off] != nCtxSlots {
+			return fail(corruptf("codec: rans table has %d slots, want %d", data[off], nCtxSlots))
+		}
+		off++
+		ransTab = new([nCtxSlots]uint8)
+		copy(ransTab[:], data[off:off+nCtxSlots])
+		for s, p := range ransTab {
+			if p == 0 {
+				// QuantizeProb0 never emits 0; a zero byte is damage, and
+				// accepting it would let ProbToFreq's clamp silently reshape
+				// the stream's probabilities.
+				return fail(corruptf("codec: rans slot %d has zero probability", s))
+			}
+		}
+		off += nCtxSlots
+		tools.Backend = BackendRANS
+	}
 	if len(data) < off+4 {
-		return prof, tools, 0, nil, 0, truncatedf("codec: header ends before frame count")
+		return fail(truncatedf("codec: header ends before frame count"))
 	}
 	nFrames := int(binary.BigEndian.Uint32(data[off:]))
 	off += 4
 	if nFrames <= 0 || nFrames > 1<<20 {
-		return prof, tools, 0, nil, 0, corruptf("codec: frame count %d out of range", nFrames)
+		return fail(corruptf("codec: frame count %d out of range", nFrames))
 	}
 	if len(data) < off+8*nFrames+4 {
 		// Allocation cap: the dim table is sized from the header, so reject
 		// counts the remaining bytes cannot possibly hold before any make.
-		return prof, tools, 0, nil, 0, truncatedf("codec: header ends inside %d-entry dim table", nFrames)
+		return fail(truncatedf("codec: header ends inside %d-entry dim table", nFrames))
 	}
 	dims = make([][2]int, nFrames)
 	totalPix := int64(0)
@@ -112,16 +150,16 @@ func parseCommonHeader(data []byte) (prof Profile, tools Tools, qp int, dims [][
 		// header can make the decoder allocate (§hardening, DESIGN.md §9).
 		if dims[i][0] <= 0 || dims[i][1] <= 0 ||
 			dims[i][0] > prof.MaxFrameDim || dims[i][1] > prof.MaxFrameDim {
-			return prof, tools, 0, nil, 0, corruptf("codec: frame %d dims %dx%d out of range",
-				i, dims[i][0], dims[i][1])
+			return fail(corruptf("codec: frame %d dims %dx%d out of range",
+				i, dims[i][0], dims[i][1]))
 		}
 		totalPix += int64(dims[i][0]) * int64(dims[i][1])
 	}
 	if totalPix > maxDecodePixels {
-		return prof, tools, 0, nil, 0, corruptf("codec: header declares %d pixels, cap is %d",
-			totalPix, int64(maxDecodePixels))
+		return fail(corruptf("codec: header declares %d pixels, cap is %d",
+			totalPix, int64(maxDecodePixels)))
 	}
-	return prof, tools, qp, dims, off, nil
+	return prof, tools, qp, dims, ransTab, off, nil
 }
 
 // maxDecodePixels caps the total source pixels a container header may
@@ -136,7 +174,11 @@ const maxDecodePixels = 1 << 28
 // frame dims into freshly allocated planes, using the caller's scratch s for
 // every transient buffer. Distinct chunks may be decoded concurrently as
 // long as each call owns its scratch.
-func decodeChunkPayload(ctx context.Context, payload []byte, dims [][2]int, prof Profile, tools Tools, qp int, s *scratch) (planes []*frame.Plane, err error) {
+//
+// For the rANS backend, ransTab is the header's shared probability table and
+// laneParallel chooses whether the payload's interleaved states pre-decode
+// on goroutines (surplus pool workers) or serially; the result is identical.
+func decodeChunkPayload(ctx context.Context, payload []byte, dims [][2]int, prof Profile, tools Tools, qp int, ransTab *[nCtxSlots]uint8, laneParallel bool, s *scratch) (planes []*frame.Plane, err error) {
 	// recover() must be called directly by the deferred function, so the
 	// panic trap is inlined here rather than delegated to a helper. Known
 	// decode panics travel as decodeError values; a cancelAbort carries a
@@ -169,9 +211,23 @@ func decodeChunkPayload(ctx context.Context, payload []byte, dims [][2]int, prof
 		scr:        s,
 		cancel:     cancellable(ctx),
 	}
-	if tools.CABAC {
+	var rc *ransChunk
+	switch {
+	case tools.Backend == BackendRANS:
+		if ransTab == nil {
+			return nil, corruptf("codec: rans chunk without a header table")
+		}
+		// Pre-decode every context bin through the interleaved states before
+		// the (serial) syntax parse; this is where the backend's intra-chunk
+		// parallelism lives.
+		rc, err = parseRansPayload(payload, ransTab, dimsPixels(dims), laneParallel)
+		if err != nil {
+			return nil, classifyStreamErr(err)
+		}
+		d.br = ransBinDec{c: rc, slotOf: s.ransSlots()}
+	case tools.CABAC:
 		d.br = cabacBinDec{cabac.NewDecoder(payload)}
-	} else {
+	default:
 		d.br = rawBinDec{bits.NewReader(payload)}
 	}
 
@@ -179,6 +235,13 @@ func decodeChunkPayload(ctx context.Context, payload []byte, dims [][2]int, prof
 	for i := range dims {
 		d.fIdx = i
 		planes[i] = d.decodeFrame(dims[i][0], dims[i][1])
+	}
+	if rc != nil {
+		// Strict end-of-chunk rule: the syntax parse must have consumed every
+		// pre-decoded bin and bypass bit the payload declared.
+		if err := rc.close(); err != nil {
+			return nil, err
+		}
 	}
 	return planes, nil
 }

@@ -77,15 +77,21 @@ func Encode(planes []*frame.Plane, qp int, prof Profile, tools Tools) ([]byte, S
 // encodeSerial is the observable core of Encode: one shared-context
 // substream in the version-1 container.
 func encodeSerial(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics) ([]byte, Stats, error) {
-	if err := validateEncode(planes, qp, prof); err != nil {
+	if err := validateEncode(planes, qp, prof, tools); err != nil {
 		return nil, Stats{}, err
+	}
+	if tools.Backend != BackendCABAC {
+		// rANS containers are always version 3: the shared probability table
+		// lives in the checksummed header's backend extension, so the v1
+		// framing cannot carry them. CABAC output is untouched.
+		return encodeChecksummed(ctx, planes, qp, prof, tools, 1, m)
 	}
 	var chunkStart time.Time
 	if m != nil {
 		chunkStart = time.Now()
 	}
 	s := getScratch()
-	payload, recs, err := encodeChunk(ctx, planes, qp, prof, tools, m, s)
+	payload, _, recs, err := encodeChunk(ctx, planes, qp, prof, tools, m, s)
 	putScratch(s)
 	if err != nil {
 		return nil, Stats{}, err
@@ -124,12 +130,20 @@ func encodeSerial(ctx context.Context, planes []*frame.Plane, qp int, prof Profi
 }
 
 // validateEncode checks the shared preconditions of Encode and EncodeParallel.
-func validateEncode(planes []*frame.Plane, qp int, prof Profile) error {
+func validateEncode(planes []*frame.Plane, qp int, prof Profile, tools Tools) error {
 	if len(planes) == 0 {
 		return errors.New("codec: no frames")
 	}
 	if qp < 0 || qp > dct.MaxQP {
 		return fmt.Errorf("codec: qp %d out of range", qp)
+	}
+	if tools.Backend != BackendCABAC && tools.Backend != BackendRANS {
+		return fmt.Errorf("codec: unknown entropy backend %d", tools.Backend)
+	}
+	if tools.Backend == BackendRANS && !tools.CABAC {
+		// The backend selects the coder for context-coded bins; with the
+		// entropy stage ablated away there are no context-coded bins to route.
+		return errors.New("codec: rans backend requires the entropy-coding stage (Tools.CABAC)")
 	}
 	for _, p := range planes {
 		if p.W > prof.MaxFrameDim || p.H > prof.MaxFrameDim {
@@ -152,14 +166,19 @@ func validateEncode(planes []*frame.Plane, qp int, prof Profile) error {
 // encodeFrame; a cancellation aborts the chunk mid-flight via a cancelAbort
 // panic trapped here, returning ctx's error with no partial output. The
 // scratch stays reusable — every buffer is re-initialized per chunk anyway.
-func encodeChunk(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics, s *scratch) (payload []byte, recs []*frame.Plane, err error) {
+// Under the rANS backend the chunk's bins are recorded rather than coded:
+// payload comes back nil and rec holds the per-slot bin lists, which the
+// container layer assembles into a payload once the shared probability table
+// exists (pass 2). The record is heap-allocated per chunk — it must outlive
+// the scratch, which the same worker reuses for its next chunk.
+func encodeChunk(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, m *encMetrics, s *scratch) (payload []byte, rec *ransRecord, recs []*frame.Plane, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ca, ok := r.(cancelAbort)
 			if !ok {
 				panic(r)
 			}
-			payload, recs, err = nil, nil, ca.err
+			payload, rec, recs, err = nil, nil, nil, ca.err
 		}
 	}()
 	e := &s.enc
@@ -172,8 +191,13 @@ func encodeChunk(ctx context.Context, planes []*frame.Plane, qp int, prof Profil
 		transforms: s.transforms,
 		dst4:       s.dst4,
 		scr:        s,
-		bw:         s.binEnc(tools.CABAC),
 		cancel:     cancellable(ctx),
+	}
+	if tools.Backend == BackendRANS {
+		rec = newRansRecord()
+		e.bw = ransBinEnc{rec: rec, slotOf: s.ransSlots()}
+	} else {
+		e.bw = s.binEnc(tools.CABAC)
 	}
 	if m != nil {
 		e.rec = &stageRecorder{m: m}
@@ -184,6 +208,12 @@ func encodeChunk(ctx context.Context, planes []*frame.Plane, qp int, prof Profil
 		e.encodeFrame(p)
 		recs[i] = e.recon
 	}
+	if e.rec != nil {
+		e.rec.flush()
+	}
+	if rec != nil {
+		return nil, rec, recs, nil
+	}
 	// finish() returns a slice aliasing the pooled bin coder's buffer; copy
 	// the payload out so the scratch can be reused (or repooled) while the
 	// caller still holds the bytes. The copy is also exact-size, so the
@@ -191,10 +221,7 @@ func encodeChunk(ctx context.Context, planes []*frame.Plane, qp int, prof Profil
 	out := e.bw.finish()
 	payload = make([]byte, len(out))
 	copy(payload, out)
-	if e.rec != nil {
-		e.rec.flush()
-	}
-	return payload, recs, nil
+	return payload, nil, recs, nil
 }
 
 // computeStats aggregates size and distortion over the source planes and

@@ -127,8 +127,9 @@ func chunkSpans(planes []*frame.Plane, tools Tools) [][2]int {
 // queued jobs of a canceled call) and encodeChunk aborts mid-chunk at CTU
 // granularity; the first cancellation or chunk error is returned after the
 // pool drains, with no partial output.
-func encodeChunksParallel(ctx context.Context, planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([][]byte, [][]*frame.Plane, error) {
+func encodeChunksParallel(ctx context.Context, planes []*frame.Plane, spans [][2]int, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([][]byte, []*ransRecord, [][]*frame.Plane, error) {
 	payloads := make([][]byte, len(spans))
+	records := make([]*ransRecord, len(spans))
 	recs := make([][]*frame.Plane, len(spans))
 	errs := make([]error, len(spans))
 	workers = normalizeWorkers(workers)
@@ -151,11 +152,11 @@ func encodeChunksParallel(ctx context.Context, planes []*frame.Plane, spans [][2
 		s := spans[i]
 		if m != nil {
 			t0 := time.Now()
-			payloads[i], recs[i], errs[i] = encodeChunk(ctx, planes[s[0]:s[1]], qp, prof, tools, m, scr)
+			payloads[i], records[i], recs[i], errs[i] = encodeChunk(ctx, planes[s[0]:s[1]], qp, prof, tools, m, scr)
 			m.chunkNs.ObserveSince(t0)
 			return
 		}
-		payloads[i], recs[i], errs[i] = encodeChunk(ctx, planes[s[0]:s[1]], qp, prof, tools, nil, scr)
+		payloads[i], records[i], recs[i], errs[i] = encodeChunk(ctx, planes[s[0]:s[1]], qp, prof, tools, nil, scr)
 	}
 	if workers == 1 {
 		scr := getScratch()
@@ -168,7 +169,7 @@ func encodeChunksParallel(ctx context.Context, planes []*frame.Plane, spans [][2
 			m.poolBusy.Add(wall)
 			m.poolWall.Add(wall)
 		}
-		return payloads, recs, firstErr(errs)
+		return payloads, records, recs, firstErr(errs)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -204,7 +205,7 @@ func encodeChunksParallel(ctx context.Context, planes []*frame.Plane, spans [][2
 	if m != nil {
 		m.poolWall.Add(int64(time.Since(wallStart)) * int64(workers))
 	}
-	return payloads, recs, firstErr(errs)
+	return payloads, records, recs, firstErr(errs)
 }
 
 // firstErr returns the first non-nil error of a per-chunk error slice.
@@ -218,13 +219,22 @@ func firstErr(errs []error) error {
 }
 
 // writeCommonHeader emits the preamble and dim table shared by all container
-// versions.
-func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, qp int, prof Profile, tools Tools) {
+// versions. When tools selects a non-CABAC backend (its tools byte carries
+// toolsBackendExt), the backend extension — backend id, slot count and the
+// shared rANS probability table — is emitted immediately after the qp byte;
+// ransTab must be non-nil exactly then. CABAC headers are byte-identical to
+// the historical layout.
+func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, qp int, prof Profile, tools Tools, ransTab *[nCtxSlots]uint8) {
 	head.Write(magic[:])
 	head.WriteByte(version)
 	head.WriteByte(prof.id())
 	head.WriteByte(tools.bits())
 	head.WriteByte(uint8(qp))
+	if tools.Backend != BackendCABAC {
+		head.WriteByte(byte(tools.Backend))
+		head.WriteByte(nCtxSlots)
+		head.Write(ransTab[:])
+	}
 	binary.Write(head, binary.BigEndian, uint32(len(planes)))
 	for _, p := range planes {
 		binary.Write(head, binary.BigEndian, uint32(p.W))
@@ -247,8 +257,13 @@ func EncodeParallel(planes []*frame.Plane, qp int, prof Profile, tools Tools, wo
 
 // encodeParallel is the observable core of EncodeParallel.
 func encodeParallel(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
-	if err := validateEncode(planes, qp, prof); err != nil {
+	if err := validateEncode(planes, qp, prof, tools); err != nil {
 		return nil, Stats{}, err
+	}
+	if tools.Backend != BackendCABAC {
+		// rANS streams need the v3 header's backend extension (shared
+		// probability table); route them to the hardened container.
+		return encodeChecksummed(ctx, planes, qp, prof, tools, workers, m)
 	}
 	spans := chunkSpans(planes, tools)
 	if len(spans) == 1 {
@@ -259,7 +274,7 @@ func encodeParallel(ctx context.Context, planes []*frame.Plane, qp int, prof Pro
 		// streams and free of chunking overhead.
 		return encodeSerial(ctx, planes, qp, prof, tools, m)
 	}
-	payloads, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
+	payloads, _, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -269,7 +284,7 @@ func encodeParallel(ctx context.Context, planes []*frame.Plane, qp int, prof Pro
 		tContainer = time.Now()
 	}
 	var head bytes.Buffer
-	writeCommonHeader(&head, versionChunked, planes, qp, prof, tools)
+	writeCommonHeader(&head, versionChunked, planes, qp, prof, tools, nil)
 	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
 	total := head.Len()
 	payloadLen := 0
@@ -306,11 +321,11 @@ func EncodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools,
 
 // encodeChecksummed is the observable core of EncodeChecksummed.
 func encodeChecksummed(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
-	if err := validateEncode(planes, qp, prof); err != nil {
+	if err := validateEncode(planes, qp, prof, tools); err != nil {
 		return nil, Stats{}, err
 	}
 	spans := chunkSpans(planes, tools)
-	payloads, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
+	payloads, records, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -319,8 +334,21 @@ func encodeChecksummed(ctx context.Context, planes []*frame.Plane, qp int, prof 
 	if m != nil {
 		tContainer = time.Now()
 	}
+	var ransTab *[nCtxSlots]uint8
+	if tools.Backend == BackendRANS {
+		// Pass 2 of the rANS scheme: aggregate every chunk's bin statistics
+		// into the shared probability table, then assemble each chunk's
+		// payload against it. Both steps are pure functions of the records
+		// (which arrive in span order), so container bytes stay independent
+		// of the worker count.
+		tab := buildRansTable(records)
+		ransTab = &tab
+		for i, r := range records {
+			payloads[i] = r.assemble(ransTab)
+		}
+	}
 	var head bytes.Buffer
-	writeCommonHeader(&head, versionChecksummed, planes, qp, prof, tools)
+	writeCommonHeader(&head, versionChecksummed, planes, qp, prof, tools, ransTab)
 	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
 	total := head.Len() + 4 // + trailing header CRC
 	payloadLen := 0
@@ -379,6 +407,10 @@ type parsedContainer struct {
 	qp      int
 	dims    [][2]int
 	chunks  []chunkMeta
+
+	// ransTab is the shared rANS probability table from the header's backend
+	// extension; non-nil exactly when tools.Backend == BackendRANS.
+	ransTab *[nCtxSlots]uint8
 }
 
 // parseContainer validates a container of any version down to its chunk
@@ -398,11 +430,17 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 	default:
 		return nil, corruptf("codec: unsupported version %d", version)
 	}
-	prof, tools, qp, dims, off, err := parseCommonHeader(data)
+	prof, tools, qp, dims, ransTab, off, err := parseCommonHeader(data)
 	if err != nil {
 		return nil, err
 	}
-	pc := &parsedContainer{version: version, prof: prof, tools: tools, qp: qp, dims: dims}
+	if ransTab != nil && version != versionChecksummed {
+		// The backend extension is defined only for the hardened container:
+		// the encoder never emits a v1/v2 rANS stream, so one on the wire is
+		// damaged (e.g. a flipped version byte) and its geometry untrustworthy.
+		return nil, corruptf("codec: entropy-backend extension in version %d container", version)
+	}
+	pc := &parsedContainer{version: version, prof: prof, tools: tools, qp: qp, dims: dims, ransTab: ransTab}
 
 	if version == 1 {
 		if len(data) < off+4 {
@@ -536,6 +574,13 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 func decodeChunks(ctx context.Context, pc *parsedContainer, workers int, m *decMetrics) ([]*frame.Plane, []ChunkError) {
 	planes := make([]*frame.Plane, len(pc.dims))
 	errs := make([]error, len(pc.chunks))
+	workers = normalizeWorkers(workers)
+	// Intra-chunk lane parallelism (rANS backend only): when the pool has
+	// more workers than chunks, the surplus goes to parallel rANS state
+	// decoding inside each chunk — the whole point of the interleaved
+	// backend. Computed before the chunk-count clamp below, since that clamp
+	// is exactly what discards the surplus. Output is identical either way.
+	laneParallel := pc.tools.Backend == BackendRANS && workers > len(pc.chunks)
 	// Like the encode pool, each decode worker owns one scratch arena for
 	// its whole job run.
 	decodeOne := func(i int, scr *scratch) {
@@ -551,7 +596,7 @@ func decodeChunks(ctx context.Context, pc *parsedContainer, workers int, m *decM
 			errs[i] = c.err
 			return
 		}
-		ps, err := decodeChunkPayload(ctx, c.payload, c.dims, pc.prof, pc.tools, pc.qp, scr)
+		ps, err := decodeChunkPayload(ctx, c.payload, c.dims, pc.prof, pc.tools, pc.qp, pc.ransTab, laneParallel, scr)
 		if m != nil {
 			m.chunkNs.ObserveSince(t0)
 			m.chunks.Inc()
@@ -563,7 +608,6 @@ func decodeChunks(ctx context.Context, pc *parsedContainer, workers int, m *decM
 		copy(planes[c.planeBase:], ps)
 	}
 
-	workers = normalizeWorkers(workers)
 	if workers > len(pc.chunks) {
 		workers = len(pc.chunks)
 	}
@@ -646,7 +690,7 @@ func decodeV1(ctx context.Context, data []byte, m *decMetrics) ([]*frame.Plane, 
 		t0 = time.Now()
 	}
 	s := getScratch()
-	planes, err := decodeChunkPayload(ctx, pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp, s)
+	planes, err := decodeChunkPayload(ctx, pc.chunks[0].payload, pc.dims, pc.prof, pc.tools, pc.qp, nil, false, s)
 	putScratch(s)
 	if m != nil {
 		m.chunkNs.ObserveSince(t0)

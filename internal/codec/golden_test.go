@@ -112,6 +112,16 @@ func goldenVectors() []goldenVector {
 			workers: 2, planes: stack(109, 6, 96, 96)},
 		{name: "v3-h264-stack4-80x64-qp26", qp: 26, prof: H264, tools: AllTools, kind: "v3",
 			workers: 2, planes: stack(110, 4, 80, 64)},
+		// Interleaved-rANS backend vectors: same deterministic sources, v3
+		// container with the backend extension. Conformance re-encodes at
+		// workers 1/2/4/8, pinning the shared-table build and slot-major
+		// payload assembly byte-for-byte.
+		{name: "v3-rans-hevc-stack6-96x96-qp30", qp: 30, prof: HEVC, tools: ransTools(), kind: "v3",
+			workers: 2, planes: stack(109, 6, 96, 96)},
+		{name: "v3-rans-h264-stack4-80x64-qp26", qp: 26, prof: H264, tools: ransTools(), kind: "v3",
+			workers: 2, planes: stack(110, 4, 80, 64)},
+		{name: "v3-rans-hevc-noise-33x31-qp16", qp: 16, prof: HEVC, tools: ransTools(), kind: "v3",
+			workers: 1, planes: noise(111, 33, 31)},
 	}
 }
 

@@ -84,6 +84,58 @@ func (p Profile) id() uint8 {
 	panic(fmt.Sprintf("codec: unknown profile %q", p.Name))
 }
 
+// EntropyBackend selects the entropy-coding stage for context-coded bins.
+//
+// BackendCABAC is the shipping default: adaptive binary arithmetic coding,
+// bit-serial within a chunk, byte-pinned by the golden conformance corpus.
+// BackendRANS is the paper's parallel-decode alternative (VcLLM's two-pass
+// scheme): a first pass records every context bin, per-slot statistics are
+// aggregated into one shared probability table serialized in the v3 header,
+// and each chunk's bins are then coded through rans.Interleave independent
+// static rANS states, so a chunk payload decodes with intra-chunk
+// parallelism instead of a serial adaptation chain.
+type EntropyBackend uint8
+
+const (
+	// BackendCABAC is adaptive arithmetic coding (the default).
+	BackendCABAC EntropyBackend = 0
+	// BackendRANS is interleaved static rANS over a shared table.
+	BackendRANS EntropyBackend = 1
+)
+
+// String names the backend for flags and error messages.
+func (b EntropyBackend) String() string {
+	switch b {
+	case BackendCABAC:
+		return "cabac"
+	case BackendRANS:
+		return "rans"
+	}
+	return fmt.Sprintf("backend(%d)", uint8(b))
+}
+
+// StreamBackend reports which entropy backend a container was encoded with,
+// from the header bytes alone (the backend extension sits right after the qp
+// byte). Short or damaged streams report CABAC; full validation is Decode's
+// job.
+func StreamBackend(data []byte) EntropyBackend {
+	if len(data) > 8 && data[6]&toolsBackendExt != 0 {
+		return EntropyBackend(data[8])
+	}
+	return BackendCABAC
+}
+
+// ParseBackend maps a flag/query value to a backend.
+func ParseBackend(s string) (EntropyBackend, error) {
+	switch s {
+	case "", "cabac":
+		return BackendCABAC, nil
+	case "rans":
+		return BackendRANS, nil
+	}
+	return 0, fmt.Errorf("codec: unknown entropy backend %q (want cabac or rans)", s)
+}
+
 // Tools toggles individual pipeline stages, enabling the Fig. 2(b) ablation.
 // The all-true value is the full codec.
 type Tools struct {
@@ -92,11 +144,24 @@ type Tools struct {
 	IntraPred    bool // intra prediction (else constant mid-gray predictor)
 	InterPred    bool // motion-compensated P-frames (hurts tensors)
 	CABAC        bool // arithmetic coding (else fixed/VLC bin writing)
+
+	// Backend selects the entropy stage used for context-coded bins when
+	// CABAC (the "entropy coding on" ablation switch) is set: adaptive
+	// arithmetic coding by default, or interleaved static rANS. It rides on
+	// Tools because every encode/decode seam already threads Tools; on the
+	// wire it is the toolsBackendExt bit of the tools byte plus a backend
+	// extension in the header, so CABAC streams stay byte-identical.
+	Backend EntropyBackend
 }
 
 // AllTools is the full intra pipeline the paper ships (inter disabled, per
 // §3.2: "LLM.265 enforces an intra-frame-only encoding").
 var AllTools = Tools{Partitioning: true, Transform: true, IntraPred: true, CABAC: true}
+
+// toolsBackendExt is the tools-byte bit announcing that a backend extension
+// (backend id + shared probability table) follows the header's qp byte.
+// Absent for CABAC, so default streams carry the historical tools byte.
+const toolsBackendExt = 0x20
 
 // toolsBits packs Tools into a byte for the bitstream header.
 func (t Tools) bits() uint8 {
@@ -116,6 +181,9 @@ func (t Tools) bits() uint8 {
 	if t.CABAC {
 		b |= 16
 	}
+	if t.Backend != BackendCABAC {
+		b |= toolsBackendExt
+	}
 	return b
 }
 
@@ -126,6 +194,9 @@ func toolsFromBits(b uint8) Tools {
 		IntraPred:    b&4 != 0,
 		InterPred:    b&8 != 0,
 		CABAC:        b&16 != 0,
+		// Backend is NOT recovered here: the tools byte only flags that a
+		// backend extension exists; parseCommonHeader validates and applies
+		// the extension's backend id.
 	}
 }
 

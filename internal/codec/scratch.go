@@ -112,6 +112,11 @@ type scratch struct {
 	cabacEnc *cabac.Encoder
 	rawEnc   *bits.Writer
 
+	// slotOf maps the embedded contexts to their canonical rANS slot
+	// numbers; built lazily by ransSlots (the addresses are stable for the
+	// scratch's lifetime, so the map never needs rebuilding).
+	slotOf map[*cabac.Context]int
+
 	// Transforms for every size (4..32) plus the 4×4 DST-VII; profiles with
 	// smaller MaxTransform simply never look the larger ones up. Transform
 	// scratch is internal to *dct.Transform, which is why transforms belong

@@ -34,6 +34,13 @@ type Options struct {
 	// quality may drift within the MSE envelope documented in DESIGN.md
 	// §11. Off by default so existing streams stay byte-identical.
 	FastSearch bool
+	// Backend selects the codec's entropy backend: codec.BackendCABAC (the
+	// zero value — adaptive arithmetic coding, byte-pinned by the golden
+	// corpus) or codec.BackendRANS (interleaved static rANS over a shared
+	// table, decoding with intra-chunk parallelism). rANS streams always use
+	// the hardened v3 container regardless of Checksum. Decode needs no
+	// option: the backend is read from the stream header.
+	Backend codec.EntropyBackend
 	// Workers sizes the parallel engine's worker pool for both encode and
 	// decode: each plane of a stack is an independent intra-only slice, so
 	// planes are encoded concurrently (mirroring the multiple NVENC/NVDEC
@@ -89,6 +96,11 @@ func (o Options) normalized() Options {
 		// The knob lives on the codec Profile; threading it here means every
 		// encode entry point (EncodeStack, rate control, MSE search) honors it.
 		o.Profile.FastSearch = true
+	}
+	if o.Backend != codec.BackendCABAC {
+		// Like FastSearch, the backend rides on the codec-layer carrier
+		// (Tools) so every encode entry point honors it.
+		o.Tools.Backend = o.Backend
 	}
 	return o
 }

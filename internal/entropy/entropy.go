@@ -1,6 +1,7 @@
 // Package entropy implements the general-purpose byte compressors that form
 // the §7.1 baseline grid when chained after INT/MXFP quantization: Huffman,
-// Deflate, LZ4 and a CABAC-style adaptive byte coder.
+// Deflate, LZ4, a CABAC-style adaptive byte coder, and an interleaved-state
+// static rANS coder (the entropy stage the paper's parallel decode rests on).
 package entropy
 
 import (
@@ -8,11 +9,32 @@ import (
 	"compress/flate"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/bits"
 	"repro/internal/cabac"
 )
+
+// Typed decode taxonomy, mirroring the codec container's: every Decode
+// failure on malformed input matches one of these under errors.Is, so
+// callers can distinguish a cut-off transfer from structural damage without
+// string matching.
+var (
+	// ErrTruncated marks streams that end before decoding completes.
+	ErrTruncated = errors.New("entropy: truncated stream")
+	// ErrCorrupt marks streams that are structurally impossible: bad
+	// offsets, malformed tables, failed integrity checks, trailing garbage.
+	ErrCorrupt = errors.New("entropy: corrupt stream")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}
+
+func truncatedf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrTruncated)...)
+}
 
 // Coder compresses and decompresses byte streams.
 //
@@ -42,9 +64,9 @@ func checkDecodeLen(n int) error {
 	return nil
 }
 
-// All returns the four coders of the baseline grid.
+// All returns the five coders of the baseline grid.
 func All() []Coder {
-	return []Coder{HuffmanCoder{}, DeflateCoder{}, LZ4Coder{}, CABACCoder{}}
+	return []Coder{HuffmanCoder{}, DeflateCoder{}, LZ4Coder{}, CABACCoder{}, RANSCoder{}}
 }
 
 // ByName looks up a coder.
@@ -195,7 +217,7 @@ func (HuffmanCoder) Decode(comp []byte, n int) ([]byte, error) {
 	for s := 0; s < 256; s++ {
 		v, err := r.ReadBits(6)
 		if err != nil {
-			return nil, err
+			return nil, truncatedf("entropy: huffman stream ends inside length table")
 		}
 		lengths[s] = int(v)
 	}
@@ -204,7 +226,7 @@ func (HuffmanCoder) Decode(comp []byte, n int) ([]byte, error) {
 		if n == 0 {
 			return nil, nil
 		}
-		return nil, errors.New("entropy: empty code table")
+		return nil, corruptf("entropy: empty huffman code table for %d declared bytes", n)
 	}
 	// Build a decode map keyed by (length, code).
 	type key struct {
@@ -223,12 +245,12 @@ func (HuffmanCoder) Decode(comp []byte, n int) ([]byte, error) {
 	for len(out) < n {
 		b, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return nil, truncatedf("entropy: huffman stream ends after %d of %d bytes", len(out), n)
 		}
 		cur = cur<<1 | uint32(b)
 		curLen++
 		if curLen > 48 {
-			return nil, errors.New("entropy: malformed huffman stream")
+			return nil, corruptf("entropy: malformed huffman stream")
 		}
 		if s, found := dec[key{curLen, cur}]; found {
 			out = append(out, s)
@@ -279,17 +301,20 @@ func (DeflateCoder) Decode(comp []byte, n int) ([]byte, error) {
 		if len(out) > n {
 			// Bomb guard: stop inflating as soon as the output exceeds the
 			// declared length instead of buffering an attacker-chosen blob.
-			return nil, fmt.Errorf("entropy: deflate expands past %d declared bytes", n)
+			return nil, corruptf("entropy: deflate expands past %d declared bytes", n)
 		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, truncatedf("entropy: deflate stream ends early")
+			}
+			return nil, fmt.Errorf("entropy: deflate: %v: %w", err, ErrCorrupt)
 		}
 	}
 	if len(out) != n {
-		return nil, fmt.Errorf("entropy: deflate length %d, want %d", len(out), n)
+		return nil, corruptf("entropy: deflate length %d, want %d", len(out), n)
 	}
 	return out, nil
 }
@@ -394,7 +419,7 @@ func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
 		if base == 15 {
 			for {
 				if i >= len(comp) {
-					return 0, errors.New("entropy: lz4 truncated length")
+					return 0, truncatedf("entropy: lz4 truncated length")
 				}
 				b := comp[i]
 				i++
@@ -414,7 +439,7 @@ func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
 			return nil, err
 		}
 		if i+litLen > len(comp) {
-			return nil, errors.New("entropy: lz4 truncated literals")
+			return nil, truncatedf("entropy: lz4 truncated literals")
 		}
 		out = append(out, comp[i:i+litLen]...)
 		i += litLen
@@ -422,12 +447,15 @@ func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
 			break
 		}
 		if i+2 > len(comp) {
-			return nil, errors.New("entropy: lz4 truncated offset")
+			return nil, truncatedf("entropy: lz4 truncated offset")
 		}
 		offset := int(comp[i]) | int(comp[i+1])<<8
 		i += 2
+		// A match may only reference bytes already produced: offset 0 is a
+		// self-reference and offset > len(out) reaches before the start of
+		// the output window.
 		if offset == 0 || offset > len(out) {
-			return nil, errors.New("entropy: lz4 bad offset")
+			return nil, corruptf("entropy: lz4 offset %d outside %d-byte window", offset, len(out))
 		}
 		mlen, err := readLSIC(int(token & 15))
 		if err != nil {
@@ -437,15 +465,29 @@ func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
 		if mlen > n-len(out) {
 			// Bomb guard: a forged match length cannot commit the decoder
 			// to producing more than the declared n bytes.
-			return nil, fmt.Errorf("entropy: lz4 match of %d overflows %d declared bytes", mlen, n)
+			return nil, corruptf("entropy: lz4 match of %d overflows %d declared bytes", mlen, n)
 		}
 		src := len(out) - offset
 		for k := 0; k < mlen; k++ {
 			out = append(out, out[src+k])
 		}
+		if i >= len(comp) {
+			// The encoder always closes a block with a literals-only token
+			// after the last match, so a stream that ends on a match is a
+			// truncated one — even when the output happens to be complete.
+			return nil, truncatedf("entropy: lz4 stream ends on a match sequence")
+		}
 	}
 	if len(out) != n {
-		return nil, fmt.Errorf("entropy: lz4 length %d, want %d", len(out), n)
+		return nil, corruptf("entropy: lz4 length %d, want %d", len(out), n)
+	}
+	if i != len(comp) {
+		// Exact-consumption rule: the encoder always closes a block with a
+		// final (possibly empty) literal token, so a decode that reaches n
+		// output bytes with input left over is reading a damaged or padded
+		// stream. The old decoder broke out of the loop here and silently
+		// accepted the trailing bytes.
+		return nil, corruptf("entropy: lz4 %d trailing bytes after %d decoded", len(comp)-i, n)
 	}
 	return out, nil
 }
@@ -454,7 +496,11 @@ func (LZ4Coder) Decode(comp []byte, n int) ([]byte, error) {
 
 // CABACCoder codes bytes bit-by-bit through a context tree of adaptive
 // binary models (the order-0 adaptive arithmetic coder used as the
-// hardware-compression baseline in §7.1 [40]).
+// hardware-compression baseline in §7.1 [40]). The arithmetic stream
+// carries no redundancy of its own — a flipped bit just decodes to
+// different bytes — so Encode appends a CRC32C trailer and Decode verifies
+// it, making truncation and bit damage typed errors instead of silent
+// garbage.
 type CABACCoder struct{}
 
 // Name implements Coder.
@@ -472,7 +518,7 @@ func (CABACCoder) Encode(data []byte) ([]byte, error) {
 			node = node<<1 | v
 		}
 	}
-	return enc.Finish(), nil
+	return appendCRC(enc.Finish()), nil
 }
 
 // Decode implements Coder.
@@ -480,7 +526,11 @@ func (CABACCoder) Decode(comp []byte, n int) ([]byte, error) {
 	if err := checkDecodeLen(n); err != nil {
 		return nil, err
 	}
-	dec := cabac.NewDecoder(comp)
+	body, err := checkCRC(comp, "cabac")
+	if err != nil {
+		return nil, err
+	}
+	dec := cabac.NewDecoder(body)
 	ctx := newByteContexts()
 	out := make([]byte, n)
 	for i := 0; i < n; i++ {
@@ -500,4 +550,33 @@ func newByteContexts() []cabac.Context {
 		ctx[i] = cabac.NewContext(0.5)
 	}
 	return ctx
+}
+
+// crcTable is CRC32C (Castagnoli), matching the codec container's choice.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcSeed primes the integrity trailer so that an empty body has a nonzero
+// checksum: without it, a stream of leading zero bytes truncated to four
+// bytes parses as "empty body + CRC(empty) = 0" and sails through.
+var crcSeed = crc32.Checksum([]byte("entropy.crc.v1"), crcTable)
+
+// appendCRC suffixes a stream with a little-endian CRC32C integrity
+// trailer, used by the coders whose body carries no structural redundancy.
+func appendCRC(body []byte) []byte {
+	sum := crc32.Update(crcSeed, crcTable, body)
+	return append(body, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+}
+
+// checkCRC validates and strips an appendCRC trailer.
+func checkCRC(comp []byte, label string) ([]byte, error) {
+	if len(comp) < 4 {
+		return nil, truncatedf("entropy: %s stream ends inside integrity trailer", label)
+	}
+	body := comp[:len(comp)-4]
+	tail := comp[len(comp)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if got := crc32.Update(crcSeed, crcTable, body); got != want {
+		return nil, corruptf("entropy: %s integrity check failed (crc %08x, trailer %08x)", label, got, want)
+	}
+	return body, nil
 }

@@ -147,7 +147,7 @@ func TestRoundTripProperty(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, want := range []string{"Huffman", "Deflate", "LZ4", "CABAC"} {
+	for _, want := range []string{"Huffman", "Deflate", "LZ4", "CABAC", "rANS"} {
 		c, err := ByName(want)
 		if err != nil || c.Name() != want {
 			t.Fatalf("ByName(%q): %v", want, err)

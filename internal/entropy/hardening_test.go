@@ -1,0 +1,280 @@
+package entropy
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// typedEntropyErr fails the test when err is non-nil but matches neither
+// taxonomy sentinel.
+func typedEntropyErr(t *testing.T, label string, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("%s: untyped decode error %v", label, err)
+	}
+}
+
+// ---------------------------------------------------------------- LZ4 audit
+
+// TestLZ4RejectsTrailingGarbage is the regression test for the bounds-audit
+// defect: the old Decode broke out of its token loop as soon as len(out)
+// reached n, silently accepting any bytes that followed — so a damaged or
+// padded stream decoded "successfully". The fixed decoder enforces exact
+// consumption. Against the pre-fix code this test fails on every appended
+// tail.
+func TestLZ4RejectsTrailingGarbage(t *testing.T) {
+	in := []byte("exact-consumption is the rule exact-consumption is the rule")
+	comp, err := LZ4Coder{}.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := (LZ4Coder{}).Decode(comp, len(in)); err != nil || !bytes.Equal(out, in) {
+		t.Fatalf("clean stream: %v", err)
+	}
+	for _, tail := range [][]byte{{0x00}, {0xFF}, {0xDE, 0xAD, 0xBE, 0xEF}, bytes.Repeat([]byte{7}, 100)} {
+		padded := append(append([]byte(nil), comp...), tail...)
+		out, err := LZ4Coder{}.Decode(padded, len(in))
+		if err == nil {
+			t.Fatalf("accepted %d trailing bytes (decoded %d bytes)", len(tail), len(out))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing bytes: want ErrCorrupt, got %v", err)
+		}
+	}
+}
+
+// TestLZ4RejectsStreamEndingOnMatch is the regression test for the second
+// defect the audit found: a stream cut immediately after its final match —
+// dropping the closing literals-only token the encoder always emits — still
+// produced the complete original output, so the old decoder accepted a
+// provably truncated stream. Fails on the pre-fix code.
+func TestLZ4RejectsStreamEndingOnMatch(t *testing.T) {
+	in := bytes.Repeat([]byte{3}, 777)
+	comp, err := LZ4Coder{}.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream ends with the final empty-literal token; cutting exactly
+	// that byte leaves the match as the last sequence.
+	cut := comp[:len(comp)-1]
+	out, err := LZ4Coder{}.Decode(cut, len(in))
+	if err == nil {
+		t.Fatalf("stream ending on a match accepted (%d bytes decoded)", len(out))
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+// TestLZ4AdversarialOffsets pins the match-window bounds checks with
+// hand-built token streams: offsets of zero, offsets reaching before the
+// start of the output, and match lengths running past the declared n must
+// all be typed rejections, and a maximally-overlapping (offset 1) copy must
+// reproduce RLE semantics exactly.
+func TestLZ4AdversarialOffsets(t *testing.T) {
+	// Stream shape: token(4 literals | match), 4 literal bytes, 2-byte
+	// little-endian offset. Match length nibble 0 means lz4MinMatch=4.
+	mk := func(offLo, offHi byte) []byte {
+		return []byte{0x40, 'a', 'b', 'c', 'd', offLo, offHi, 0x00 /* final empty-literal token */}
+	}
+	cases := []struct {
+		name string
+		comp []byte
+		n    int
+	}{
+		{"offset zero", mk(0, 0), 8},
+		{"offset before window start", mk(5, 0), 8},
+		{"offset far before window", mk(0xFF, 0xFF), 8},
+		{"match past declared n", mk(1, 0), 5},
+	}
+	for _, tc := range cases {
+		out, err := LZ4Coder{}.Decode(tc.comp, tc.n)
+		if err == nil {
+			t.Errorf("%s: accepted, decoded %q", tc.name, out)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", tc.name, err)
+		}
+	}
+
+	// Overlap semantics: offset 1 over 4 literals + 8-byte match = RLE of
+	// the last literal.
+	comp := []byte{0x44, 'a', 'b', 'c', 'd', 1, 0, 0x00}
+	out, err := LZ4Coder{}.Decode(comp, 12)
+	if err != nil {
+		t.Fatalf("overlap copy rejected: %v", err)
+	}
+	if want := []byte("abcddddddddd"); !bytes.Equal(out, want) {
+		t.Fatalf("overlap copy = %q, want %q", out, want)
+	}
+}
+
+// FuzzLZ4Decode hammers the match-offset/overlap-copy path directly with
+// arbitrary streams and claimed lengths: no panic, no out-of-window reads
+// (the race detector and bounds checks would catch them), every rejection
+// typed, and every acceptance both exactly n bytes long AND re-encodable —
+// plus the round-trip direction with the fuzzer's bytes as plaintext.
+func FuzzLZ4Decode(f *testing.F) {
+	seed := func(data []byte) {
+		comp, _ := LZ4Coder{}.Encode(data)
+		f.Add(comp, uint32(len(data)))
+	}
+	seed(nil)
+	seed(bytes.Repeat([]byte("abcdefgh"), 40))
+	seed([]byte("no matches here: 0123456789!@#$%^&*"))
+	f.Add([]byte{0x40, 'a', 'b', 'c', 'd', 0, 0, 0x00}, uint32(8))
+	f.Add([]byte{0xF4, 255, 0}, uint32(300))
+
+	f.Fuzz(func(t *testing.T, comp []byte, n uint32) {
+		claim := int(n % (1 << 14))
+		out, err := LZ4Coder{}.Decode(comp, claim)
+		typedEntropyErr(t, "decode", err)
+		if err == nil {
+			if len(out) != claim {
+				t.Fatalf("accepted %d bytes for claim %d", len(out), claim)
+			}
+			re, err := LZ4Coder{}.Encode(out)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			back, err := LZ4Coder{}.Decode(re, claim)
+			if err != nil || !bytes.Equal(back, out) {
+				t.Fatalf("re-encoded stream does not round-trip: %v", err)
+			}
+		}
+		comp2, err := LZ4Coder{}.Encode(comp)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := LZ4Coder{}.Decode(comp2, len(comp))
+		if err != nil || !bytes.Equal(back, comp) {
+			t.Fatalf("round trip: %v", err)
+		}
+	})
+}
+
+// ------------------------------------------------------- Huffman degenerates
+
+// TestHuffmanDegenerateInputs pins buildLengths/canonicalCodes on the edge
+// shapes: empty input, a single byte, a single repeated symbol (where a
+// naive tree walk would assign the root symbol a zero-length code), and the
+// full 256-way uniform alphabet (maximum-width table). Every case must
+// round-trip, and no present symbol may carry a zero-length code.
+func TestHuffmanDegenerateInputs(t *testing.T) {
+	uniform := make([]byte, 256*4)
+	for i := range uniform {
+		uniform[i] = byte(i % 256)
+	}
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{0x42}},
+		{"all identical", bytes.Repeat([]byte{0x07}, 5000)},
+		{"256-way uniform", uniform},
+	}
+	for _, tc := range cases {
+		var freq [256]int
+		for _, b := range tc.in {
+			freq[b]++
+		}
+		lengths := buildLengths(freq)
+		for s, f := range freq {
+			if f > 0 && lengths[s] == 0 {
+				t.Errorf("%s: symbol %#x present but assigned zero-length code", tc.name, s)
+			}
+			if f == 0 && lengths[s] != 0 {
+				t.Errorf("%s: symbol %#x absent but assigned length %d", tc.name, s, lengths[s])
+			}
+		}
+		comp, err := HuffmanCoder{}.Encode(tc.in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		out, err := HuffmanCoder{}.Decode(comp, len(tc.in))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if !bytes.Equal(out, tc.in) {
+			t.Fatalf("%s: round trip differs", tc.name)
+		}
+	}
+	// The single-symbol code must be exactly 1 bit (not 0): 5000 identical
+	// bytes cost the 192-byte header plus ceil(5000/8) payload bytes.
+	comp, _ := HuffmanCoder{}.Encode(bytes.Repeat([]byte{0x07}, 5000))
+	if want := 192 + (5000+7)/8; len(comp) != want {
+		t.Fatalf("all-identical encode is %d bytes, want %d (1 bit/symbol)", len(comp), want)
+	}
+}
+
+// ------------------------------------------------- cross-backend matrix
+
+// TestCrossBackendMatrix runs every coder in All() over one shared corpus:
+// each must round-trip every input, reject every truncation of every
+// compressed stream with a typed error (or, where a short stream is still
+// structurally complete, at minimum never panic and never return the
+// original data), and classify bit-flip damage through the typed taxonomy.
+// The integrity-carrying coders (CABAC, rANS) must reject every single-bit
+// flip outright.
+func TestCrossBackendMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corpus := [][]byte{
+		nil,
+		{0xA5},
+		bytes.Repeat([]byte{3}, 777),
+		skewedData(rng, 4096),
+		[]byte("interleaved states decode independently against one shared table"),
+	}
+	random := make([]byte, 2048)
+	rng.Read(random)
+	corpus = append(corpus, random)
+
+	for _, c := range All() {
+		hasIntegrity := c.Name() == "CABAC" || c.Name() == "rANS"
+		for k, in := range corpus {
+			comp, err := c.Encode(in)
+			if err != nil {
+				t.Fatalf("%s corpus %d: encode: %v", c.Name(), k, err)
+			}
+			out, err := c.Decode(comp, len(in))
+			if err != nil || !bytes.Equal(out, in) {
+				t.Fatalf("%s corpus %d: round trip: %v", c.Name(), k, err)
+			}
+
+			// Truncation sweep: every strict prefix.
+			for cut := 0; cut < len(comp); cut++ {
+				got, err := c.Decode(comp[:cut], len(in))
+				typedEntropyErr(t, c.Name()+" truncate", err)
+				if err == nil && len(in) > 0 && bytes.Equal(got, in) {
+					t.Fatalf("%s corpus %d: truncated[:%d] decoded to the original", c.Name(), k, cut)
+				}
+				if err == nil && hasIntegrity {
+					t.Fatalf("%s corpus %d: truncated[:%d] accepted despite integrity trailer", c.Name(), k, cut)
+				}
+			}
+
+			// Bit-flip sweep: one flip per byte (bit index varies) keeps the
+			// matrix fast while touching every byte position.
+			for i := range comp {
+				bad := append([]byte(nil), comp...)
+				bad[i] ^= 1 << (i % 8)
+				got, err := c.Decode(bad, len(in))
+				typedEntropyErr(t, c.Name()+" bitflip", err)
+				if hasIntegrity && err == nil {
+					t.Fatalf("%s corpus %d: bitflip@%d accepted despite integrity trailer", c.Name(), k, i)
+				}
+				if err == nil && len(got) != len(in) {
+					t.Fatalf("%s corpus %d: bitflip@%d returned %d bytes for claim %d",
+						c.Name(), k, i, len(got), len(in))
+				}
+			}
+		}
+	}
+}

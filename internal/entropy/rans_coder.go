@@ -1,0 +1,139 @@
+package entropy
+
+import (
+	"encoding/binary"
+
+	"repro/internal/rans"
+)
+
+// RANSCoder is the order-0 static rANS byte coder: one shared 12-bit
+// frequency table in the header, then rans.Interleave independent states
+// whose segments carry no cross-dependency — the standalone form of the
+// entropy stage that gives the paper its parallel decode (VcLLM's two-pass
+// scheme: gather statistics, serialize the table once, decode every lane
+// against it).
+//
+// Stream layout:
+//
+//	u8          present symbol count minus 1 (absent entirely when the
+//	            input was empty — see below)
+//	present ×   u8 symbol, u16 little-endian scaled frequency
+//	4 ×         uvarint segment length
+//	4 ×         segment bytes
+//	u32         CRC32C over everything above
+//
+// An empty input encodes as just the CRC trailer. Decode is strict: the
+// table must sum to exactly rans.Scale, every segment must close on its
+// initial state with full consumption, and the trailer must verify — so
+// truncation and bit damage are typed errors, never silent output.
+type RANSCoder struct{}
+
+// Name implements Coder.
+func (RANSCoder) Name() string { return "rANS" }
+
+// Encode implements Coder.
+func (RANSCoder) Encode(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return appendCRC(nil), nil
+	}
+	var counts [256]int64
+	for _, b := range data {
+		counts[b]++
+	}
+	f, err := rans.NormalizeFreqs(&counts)
+	if err != nil {
+		return nil, err
+	}
+	present := 0
+	for s := 0; s < 256; s++ {
+		if f.Freq(uint8(s)) > 0 {
+			present++
+		}
+	}
+	out := make([]byte, 0, 1+3*present+len(data)/2+32)
+	out = append(out, byte(present-1))
+	for s := 0; s < 256; s++ {
+		if fr := f.Freq(uint8(s)); fr > 0 {
+			out = append(out, byte(s), byte(fr), byte(fr>>8))
+		}
+	}
+	segs, err := rans.EncodeBytes(data, f)
+	if err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	for _, seg := range segs {
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(seg)))]...)
+	}
+	for _, seg := range segs {
+		out = append(out, seg...)
+	}
+	return appendCRC(out), nil
+}
+
+// Decode implements Coder.
+func (RANSCoder) Decode(comp []byte, n int) ([]byte, error) {
+	if err := checkDecodeLen(n); err != nil {
+		return nil, err
+	}
+	body, err := checkCRC(comp, "rans")
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		if n != 0 {
+			return nil, corruptf("entropy: empty rans body for %d declared bytes", n)
+		}
+		return nil, nil
+	}
+	if n == 0 {
+		return nil, corruptf("entropy: %d-byte rans body for empty declared output", len(body))
+	}
+	present := int(body[0]) + 1
+	off := 1
+	if len(body)-off < 3*present {
+		return nil, truncatedf("entropy: rans stream ends inside %d-entry table", present)
+	}
+	var freq [256]uint32
+	for k := 0; k < present; k++ {
+		s := body[off]
+		fr := uint32(body[off+1]) | uint32(body[off+2])<<8
+		if freq[s] != 0 {
+			return nil, corruptf("entropy: rans table repeats symbol %#x", s)
+		}
+		if fr == 0 {
+			return nil, corruptf("entropy: rans table has zero frequency for symbol %#x", s)
+		}
+		freq[s] = fr
+		off += 3
+	}
+	f, err := rans.FreqsFromTable(&freq)
+	if err != nil {
+		return nil, corruptf("entropy: %v", err)
+	}
+	segs := make([][]byte, rans.Interleave)
+	segLens := make([]int, rans.Interleave)
+	for j := range segLens {
+		v, k := binary.Uvarint(body[off:])
+		if k <= 0 || v > uint64(len(body)) {
+			return nil, corruptf("entropy: rans segment %d length unreadable", j)
+		}
+		segLens[j] = int(v)
+		off += k
+	}
+	for j, l := range segLens {
+		if len(body)-off < l {
+			return nil, truncatedf("entropy: rans segment %d needs %d bytes, %d remain", j, l, len(body)-off)
+		}
+		segs[j] = body[off : off+l]
+		off += l
+	}
+	if off != len(body) {
+		return nil, corruptf("entropy: rans %d trailing bytes after segments", len(body)-off)
+	}
+	out, err := rans.DecodeBytes(segs, n, f)
+	if err != nil {
+		return nil, corruptf("entropy: %v", err)
+	}
+	return out, nil
+}

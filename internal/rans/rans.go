@@ -1,0 +1,371 @@
+// Package rans implements static-probability range asymmetric numeral
+// systems (rANS) coding, the entropy stage the paper's GPU-class decode
+// numbers depend on: statistics are collected globally in a first pass, a
+// shared frequency table is serialized once, and every interleaved state
+// then decodes independently against that table — no bit-serial adaptation
+// chain, so decode parallelism is limited only by the number of states.
+//
+// Two coders are provided:
+//
+//   - BinEncoder/BinDecoder: a binary rANS pair over per-position static
+//     probabilities (quantized to 8 bits, expanded to a 12-bit frequency
+//     scale). The codec layer interleaves N of these per chunk.
+//   - EncodeBytes/DecodeBytes: an order-0 256-symbol byte coder with
+//     Interleave states over a shared 12-bit frequency table, used by the
+//     entropy-coder grid (Fig. 14) as the standalone "rANS" backend.
+//
+// Both use byte-wise renormalization with state in [1<<16, 1<<24): the
+// encoder walks its symbols in reverse, emitting renorm bytes as the state
+// would overflow, and finally flushes the 3-byte state; the emitted segment
+// is then reversed so the decoder consumes it strictly forward. Decoding is
+// strict: the final state must return exactly to the initial value and the
+// segment must be consumed exactly, so truncation and most corruption are
+// structural errors rather than silent garbage.
+package rans
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// ScaleBits is the frequency-table precision: all symbol frequencies in
+	// one table sum to 1<<ScaleBits.
+	ScaleBits = 12
+	// Scale is the frequency-table total, 1<<ScaleBits.
+	Scale = 1 << ScaleBits
+
+	// stateLo is the renormalization lower bound; a live state x always
+	// satisfies stateLo <= x < stateLo<<8.
+	stateLo = 1 << 16
+
+	// Interleave is the number of independent rANS states the byte coder and
+	// the codec backend split a symbol sequence across. Symbol i goes to
+	// state i%Interleave, and each state owns a private byte segment, so the
+	// segments decode with no cross-state data dependency at all.
+	Interleave = 4
+)
+
+// ErrCorrupt is returned when a stream is structurally impossible: a state
+// outside its legal range, a frequency table that does not sum to Scale, or
+// a segment whose final state does not return to the initial value.
+var ErrCorrupt = errors.New("rans: corrupt stream")
+
+// ErrTruncated is returned when a segment ends before the decoder has
+// renormalized back above the lower bound.
+var ErrTruncated = errors.New("rans: truncated stream")
+
+// ---------------------------------------------------------------------------
+// Binary coder over static per-position probabilities.
+
+// ProbToFreq expands an 8-bit probability-of-zero byte t (clamped to
+// [1,255]) into the 12-bit frequency of bin 0. Both halves stay nonzero:
+// f0 in [16, 4080], f1 = Scale - f0.
+func ProbToFreq(t uint8) uint32 {
+	if t == 0 {
+		t = 1
+	}
+	return uint32(t) << (ScaleBits - 8)
+}
+
+// QuantizeProb0 converts observed (zeros, ones) counts for one context slot
+// into the 8-bit probability byte ProbToFreq expects. Slots with no
+// observations get the equiprobable byte 128.
+func QuantizeProb0(zeros, ones int64) uint8 {
+	total := zeros + ones
+	if total == 0 {
+		return 128
+	}
+	t := (zeros*256 + total/2) / total
+	if t < 1 {
+		t = 1
+	}
+	if t > 255 {
+		t = 255
+	}
+	return uint8(t)
+}
+
+// BinEncoder encodes a sequence of bins against static probabilities. Bins
+// must be pushed in REVERSE sequence order (last bin first); Finish reverses
+// the internal buffer so the decoder reads forward.
+type BinEncoder struct {
+	x   uint32
+	buf []byte
+}
+
+// Reset prepares the encoder for a new segment, reusing its buffer.
+func (e *BinEncoder) Reset() {
+	e.x = stateLo
+	e.buf = e.buf[:0]
+}
+
+// Put encodes one bin whose probability-of-zero frequency is f0 (out of
+// Scale). Call in reverse sequence order.
+func (e *BinEncoder) Put(bin int, f0 uint32) {
+	f, cs := f0, uint32(0)
+	if bin != 0 {
+		f, cs = Scale-f0, f0
+	}
+	// Renormalize: after the state update x' < stateLo<<8 must hold, which
+	// requires x < f * ((stateLo<<8)>>ScaleBits) = f<<12 beforehand.
+	for e.x >= f<<12 {
+		e.buf = append(e.buf, byte(e.x))
+		e.x >>= 8
+	}
+	e.x = e.x/f<<ScaleBits + e.x%f + cs
+}
+
+// Finish flushes the 3-byte final state and returns the completed segment
+// in decode order. The returned slice aliases the encoder's buffer and is
+// valid until the next Reset.
+func (e *BinEncoder) Finish() []byte {
+	e.buf = append(e.buf, byte(e.x), byte(e.x>>8), byte(e.x>>16))
+	reverse(e.buf)
+	return e.buf
+}
+
+// BinDecoder decodes a segment produced by BinEncoder.
+type BinDecoder struct {
+	x   uint32
+	buf []byte
+	pos int
+}
+
+// Init points the decoder at a segment and loads the initial state.
+func (d *BinDecoder) Init(seg []byte) error {
+	if len(seg) < 3 {
+		return fmt.Errorf("rans: %d-byte segment: %w", len(seg), ErrTruncated)
+	}
+	d.buf = seg
+	d.x = uint32(seg[0])<<16 | uint32(seg[1])<<8 | uint32(seg[2])
+	d.pos = 3
+	if d.x < stateLo {
+		return fmt.Errorf("rans: initial state %#x below renormalization bound: %w", d.x, ErrCorrupt)
+	}
+	return nil
+}
+
+// Get decodes one bin whose probability-of-zero frequency is f0.
+func (d *BinDecoder) Get(f0 uint32) (int, error) {
+	s := d.x & (Scale - 1)
+	bin := 0
+	f, cs := f0, uint32(0)
+	if s >= f0 {
+		bin = 1
+		f, cs = Scale-f0, f0
+	}
+	d.x = f*(d.x>>ScaleBits) + s - cs
+	for d.x < stateLo {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("rans: segment ends mid-renormalization: %w", ErrTruncated)
+		}
+		d.x = d.x<<8 | uint32(d.buf[d.pos])
+		d.pos++
+	}
+	return bin, nil
+}
+
+// Close verifies the strict end-of-segment invariants: the state has
+// returned exactly to its initial value and every segment byte was consumed.
+func (d *BinDecoder) Close() error {
+	if d.x != stateLo {
+		return fmt.Errorf("rans: final state %#x, want %#x: %w", d.x, uint32(stateLo), ErrCorrupt)
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("rans: %d unconsumed segment bytes: %w", len(d.buf)-d.pos, ErrCorrupt)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Order-0 byte coder with interleaved states over a shared table.
+
+// Freqs is a 256-symbol frequency table summing to Scale.
+type Freqs struct {
+	freq [256]uint32
+	cum  [256]uint32
+	// slot maps a 12-bit scaled value back to its symbol.
+	slot [Scale]uint8
+}
+
+// NormalizeFreqs builds a table from raw symbol counts, guaranteeing every
+// symbol with a nonzero count keeps a nonzero scaled frequency.
+func NormalizeFreqs(counts *[256]int64) (*Freqs, error) {
+	var total int64
+	present := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, errors.New("rans: negative symbol count")
+		}
+		if c > 0 {
+			present++
+		}
+		total += c
+	}
+	if total == 0 || present == 0 {
+		return nil, errors.New("rans: empty frequency table")
+	}
+	if present > Scale {
+		return nil, errors.New("rans: more symbols than table slots")
+	}
+	f := &Freqs{}
+	assigned := uint32(0)
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		v := uint32(int64(Scale) * c / total)
+		if v == 0 {
+			v = 1
+		}
+		f.freq[s] = v
+		assigned += v
+	}
+	// Fix the rounding drift on the most frequent symbol; if rounding
+	// overshot, shave symbols that can spare frequency.
+	for assigned > Scale {
+		for s := 0; s < 256 && assigned > Scale; s++ {
+			if f.freq[s] > 1 {
+				d := f.freq[s] - 1
+				if d > assigned-Scale {
+					d = assigned - Scale
+				}
+				f.freq[s] -= d
+				assigned -= d
+			}
+		}
+	}
+	if assigned < Scale {
+		best := -1
+		for s := 0; s < 256; s++ {
+			if f.freq[s] > 0 && (best < 0 || f.freq[s] > f.freq[best]) {
+				best = s
+			}
+		}
+		f.freq[best] += Scale - assigned
+	}
+	f.finish()
+	return f, nil
+}
+
+// FreqsFromTable builds a table from explicit per-symbol frequencies (as
+// parsed from a stream header). It validates the sum and rejects tables a
+// conforming encoder cannot have produced.
+func FreqsFromTable(freq *[256]uint32) (*Freqs, error) {
+	var sum uint64
+	for _, v := range freq {
+		sum += uint64(v)
+	}
+	if sum != Scale {
+		return nil, fmt.Errorf("rans: frequency table sums to %d, want %d: %w", sum, Scale, ErrCorrupt)
+	}
+	f := &Freqs{freq: *freq}
+	f.finish()
+	return f, nil
+}
+
+func (f *Freqs) finish() {
+	var cum uint32
+	for s := 0; s < 256; s++ {
+		f.cum[s] = cum
+		for k := uint32(0); k < f.freq[s]; k++ {
+			f.slot[cum+k] = uint8(s)
+		}
+		cum += f.freq[s]
+	}
+}
+
+// Freq reports symbol s's scaled frequency (0 when s never occurs).
+func (f *Freqs) Freq(s uint8) uint32 { return f.freq[s] }
+
+// EncodeBytes compresses data against table f using Interleave independent
+// states; the i-th byte belongs to state i%Interleave. It returns the
+// per-state segments in decode order. Symbols with zero frequency are
+// rejected (the table must cover the data).
+func EncodeBytes(data []byte, f *Freqs) ([][]byte, error) {
+	segs := make([][]byte, Interleave)
+	encs := make([]BinEncoder, Interleave) // buffers reused as raw byte stacks
+	states := make([]uint32, Interleave)
+	for j := range states {
+		states[j] = stateLo
+	}
+	for i := len(data) - 1; i >= 0; i-- {
+		j := i % Interleave
+		s := data[i]
+		fr := f.freq[s]
+		if fr == 0 {
+			return nil, fmt.Errorf("rans: symbol %#x has zero frequency", s)
+		}
+		x := states[j]
+		for x >= fr<<12 {
+			encs[j].buf = append(encs[j].buf, byte(x))
+			x >>= 8
+		}
+		states[j] = x/fr<<ScaleBits + x%fr + f.cum[s]
+	}
+	for j := range segs {
+		x := states[j]
+		encs[j].buf = append(encs[j].buf, byte(x), byte(x>>8), byte(x>>16))
+		reverse(encs[j].buf)
+		segs[j] = encs[j].buf
+	}
+	return segs, nil
+}
+
+// DecodeBytes reconstructs n bytes from per-state segments against table f.
+// The out slice is filled at stride-Interleave positions per state, so each
+// state could run on its own goroutine; this serial form preserves that
+// independence (states never read each other).
+func DecodeBytes(segs [][]byte, n int, f *Freqs) ([]byte, error) {
+	if len(segs) != Interleave {
+		return nil, fmt.Errorf("rans: %d state segments, want %d: %w", len(segs), Interleave, ErrCorrupt)
+	}
+	out := make([]byte, n)
+	for j := 0; j < Interleave; j++ {
+		if err := decodeLane(segs[j], out, j, f); err != nil {
+			return nil, fmt.Errorf("rans: state %d: %w", j, err)
+		}
+	}
+	return out, nil
+}
+
+// decodeLane decodes state j's subsequence (positions j, j+Interleave, ...)
+// into out. It is self-contained — safe to run concurrently with other lanes
+// over the same out slice, since the written index sets are disjoint.
+func decodeLane(seg []byte, out []byte, j int, f *Freqs) error {
+	if len(seg) < 3 {
+		return fmt.Errorf("%d-byte segment: %w", len(seg), ErrTruncated)
+	}
+	x := uint32(seg[0])<<16 | uint32(seg[1])<<8 | uint32(seg[2])
+	pos := 3
+	if x < stateLo {
+		return fmt.Errorf("initial state %#x below bound: %w", x, ErrCorrupt)
+	}
+	for i := j; i < len(out); i += Interleave {
+		s := x & (Scale - 1)
+		sym := f.slot[s]
+		out[i] = sym
+		x = f.freq[sym]*(x>>ScaleBits) + s - f.cum[sym]
+		for x < stateLo {
+			if pos >= len(seg) {
+				return fmt.Errorf("segment ends mid-renormalization: %w", ErrTruncated)
+			}
+			x = x<<8 | uint32(seg[pos])
+			pos++
+		}
+	}
+	if x != stateLo {
+		return fmt.Errorf("final state %#x, want %#x: %w", x, uint32(stateLo), ErrCorrupt)
+	}
+	if pos != len(seg) {
+		return fmt.Errorf("%d unconsumed segment bytes: %w", len(seg)-pos, ErrCorrupt)
+	}
+	return nil
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}

@@ -1,0 +1,286 @@
+package rans
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// binRoundTrip encodes bins against per-position probability bytes and
+// decodes them back through one state.
+func binRoundTrip(t *testing.T, bins []int, probs []uint8) {
+	t.Helper()
+	var enc BinEncoder
+	enc.Reset()
+	for i := len(bins) - 1; i >= 0; i-- {
+		enc.Put(bins[i], ProbToFreq(probs[i]))
+	}
+	seg := enc.Finish()
+
+	var dec BinDecoder
+	if err := dec.Init(seg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bins {
+		got, err := dec.Get(ProbToFreq(probs[i]))
+		if err != nil {
+			t.Fatalf("bin %d: %v", i, err)
+		}
+		if got != bins[i] {
+			t.Fatalf("bin %d: got %d, want %d", i, got, bins[i])
+		}
+	}
+	if err := dec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(500)
+		bins := make([]int, n)
+		probs := make([]uint8, n)
+		for i := range bins {
+			probs[i] = uint8(1 + rng.Intn(255))
+			if rng.Intn(256) < int(probs[i]) {
+				bins[i] = 0
+			} else {
+				bins[i] = 1
+			}
+		}
+		binRoundTrip(t, bins, probs)
+	}
+	// Degenerate: empty sequence, extreme probabilities, all-same bins.
+	binRoundTrip(t, nil, nil)
+	all0, all1 := make([]int, 1000), make([]int, 1000)
+	pLo, pHi := make([]uint8, 1000), make([]uint8, 1000)
+	for i := range all1 {
+		all1[i] = 1
+		pLo[i], pHi[i] = 1, 255
+	}
+	binRoundTrip(t, all0, pHi) // likely bins: near-free
+	binRoundTrip(t, all1, pLo)
+	binRoundTrip(t, all0, pLo) // unlikely bins: expensive but exact
+	binRoundTrip(t, all1, pHi)
+}
+
+// TestBinCompression: 1000 bins that are zero 95% of the time, coded with a
+// matched static probability, must cost well under 1 bit/bin.
+func TestBinCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 10000
+	bins := make([]int, n)
+	probs := make([]uint8, n)
+	for i := range bins {
+		probs[i] = 243 // p0 ≈ 0.95
+		if rng.Float64() >= 0.95 {
+			bins[i] = 1
+		}
+	}
+	var enc BinEncoder
+	enc.Reset()
+	for i := n - 1; i >= 0; i-- {
+		enc.Put(bins[i], ProbToFreq(probs[i]))
+	}
+	seg := enc.Finish()
+	bitsPerBin := float64(len(seg)*8) / float64(n)
+	// H(0.95) ≈ 0.286; allow quantization + flush slack.
+	if bitsPerBin > 0.35 {
+		t.Fatalf("%.3f bits/bin on p=0.95 source, want < 0.35", bitsPerBin)
+	}
+}
+
+func TestBinDecoderStrictness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bins := make([]int, 300)
+	probs := make([]uint8, 300)
+	for i := range bins {
+		bins[i] = rng.Intn(2)
+		probs[i] = uint8(1 + rng.Intn(255))
+	}
+	var enc BinEncoder
+	enc.Reset()
+	for i := len(bins) - 1; i >= 0; i-- {
+		enc.Put(bins[i], ProbToFreq(probs[i]))
+	}
+	seg := append([]byte(nil), enc.Finish()...)
+
+	decodeAll := func(seg []byte) error {
+		var dec BinDecoder
+		if err := dec.Init(seg); err != nil {
+			return err
+		}
+		for i := range bins {
+			if _, err := dec.Get(ProbToFreq(probs[i])); err != nil {
+				return err
+			}
+		}
+		return dec.Close()
+	}
+	if err := decodeAll(seg); err != nil {
+		t.Fatalf("clean segment rejected: %v", err)
+	}
+	// Every strict prefix must fail Init, Get or Close.
+	for n := 0; n < len(seg); n++ {
+		if err := decodeAll(seg[:n]); err == nil {
+			t.Fatalf("truncated segment [:%d] accepted", n)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated segment [:%d]: untyped error %v", n, err)
+		}
+		// Trailing garbage must fail Close.
+		padded := append(append([]byte(nil), seg...), 0xAA)
+		if err := decodeAll(padded); err == nil {
+			t.Fatal("segment with trailing byte accepted")
+		}
+	}
+}
+
+func uniformFreqs(t *testing.T) *Freqs {
+	t.Helper()
+	var counts [256]int64
+	for i := range counts {
+		counts[i] = 1
+	}
+	f, err := NormalizeFreqs(&counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 17, 1000, 65536} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(16)) // skewed alphabet
+		}
+		var counts [256]int64
+		for _, b := range data {
+			counts[b]++
+		}
+		var f *Freqs
+		if n == 0 {
+			f = uniformFreqs(t)
+		} else {
+			var err error
+			f, err = NormalizeFreqs(&counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		segs, err := EncodeBytes(data, f)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		out, err := DecodeBytes(segs, n, f)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("n=%d: round trip differs", n)
+		}
+	}
+}
+
+// TestLaneIndependence is the structural proof behind the intra-chunk
+// parallel-decode claim: each interleaved state decodes its stride-4
+// subsequence on its own goroutine, with no shared mutable state beyond
+// disjoint regions of the output slice, and the result is byte-identical to
+// the serial decode.
+func TestLaneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 40000)
+	for i := range data {
+		data[i] = byte(rng.NormFloat64()*8 + 128)
+	}
+	var counts [256]int64
+	for _, b := range data {
+		counts[b]++
+	}
+	f, err := NormalizeFreqs(&counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := EncodeBytes(data, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := DecodeBytes(segs, len(data), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallelOut := make([]byte, len(data))
+	var wg sync.WaitGroup
+	errs := make([]error, Interleave)
+	for j := 0; j < Interleave; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = decodeLane(segs[j], parallelOut, j, f)
+		}(j)
+	}
+	wg.Wait()
+	for j, e := range errs {
+		if e != nil {
+			t.Fatalf("lane %d: %v", j, e)
+		}
+	}
+	if !bytes.Equal(parallelOut, serial) || !bytes.Equal(parallelOut, data) {
+		t.Fatal("parallel lane decode differs from serial decode")
+	}
+}
+
+func TestFreqsFromTableValidation(t *testing.T) {
+	var bad [256]uint32
+	bad[0] = Scale - 1 // sums short
+	if _, err := FreqsFromTable(&bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short table: %v", err)
+	}
+	bad[1] = 2 // sums long
+	if _, err := FreqsFromTable(&bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("long table: %v", err)
+	}
+	bad[1] = 1
+	if _, err := FreqsFromTable(&bad); err != nil {
+		t.Fatalf("exact table rejected: %v", err)
+	}
+}
+
+func TestBytesCompressesSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 1<<16)
+	for i := range data {
+		v := int(rng.NormFloat64()*3 + 8)
+		if v < 0 {
+			v = 0
+		}
+		if v > 15 {
+			v = 15
+		}
+		data[i] = byte(v)
+	}
+	var counts [256]int64
+	for _, b := range data {
+		counts[b]++
+	}
+	f, err := NormalizeFreqs(&counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := EncodeBytes(data, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if ratio := float64(total) / float64(len(data)); ratio > 0.55 {
+		t.Fatalf("ratio %.3f on 16-level gaussian source, want < 0.55", ratio)
+	}
+}

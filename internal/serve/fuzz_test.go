@@ -54,6 +54,8 @@ func FuzzServeRequest(f *testing.F) {
 
 	f.Add("POST", "v1/encode", "rows=32&cols=32&qp=30", stackBody(stack))
 	f.Add("POST", "v1/encode", "rows=32&cols=32&qp=30&checksum=1&fast-search=1", stackBody(stack))
+	f.Add("POST", "v1/encode", "rows=32&cols=32&qp=30&backend=rans", stackBody(stack))
+	f.Add("POST", "v1/encode", "rows=32&cols=32&qp=30&backend=backend(7)", stackBody(stack))
 	f.Add("POST", "v1/decode", "", container)
 	f.Add("POST", "v1/decode", "partial=1", flipped)
 	f.Add("POST", "v1/decode", "", enc.Stream)

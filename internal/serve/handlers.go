@@ -71,9 +71,9 @@ func queryInt(q url.Values, key string, def int) (int, error) {
 }
 
 // optionsFromQuery maps query parameters onto core.Options — the same knobs
-// the CLI exposes: profile (h264|h265|av1), checksum, fast-search, per-row,
-// max-frame-w/h. Workers always comes from the server config so one client
-// cannot oversubscribe the pool.
+// the CLI exposes: profile (h264|h265|av1), backend (cabac|rans), checksum,
+// fast-search, per-row, max-frame-w/h. Workers always comes from the server
+// config so one client cannot oversubscribe the pool.
 func (s *Server) optionsFromQuery(q url.Values) (core.Options, error) {
 	o := core.DefaultOptions()
 	o.Workers = s.cfg.Workers
@@ -89,6 +89,9 @@ func (s *Server) optionsFromQuery(q url.Values) (core.Options, error) {
 		return o, fmt.Errorf("serve: unknown profile %q (want h264|h265|av1)", prof)
 	}
 	var err error
+	if o.Backend, err = codec.ParseBackend(q.Get("backend")); err != nil {
+		return o, fmt.Errorf("serve: %w", err)
+	}
 	if o.Checksum, err = queryBool(q, "checksum"); err != nil {
 		return o, err
 	}
@@ -380,7 +383,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusOK
 	state := "ok"
-	if s.adm.draining.Load() {
+	if s.adm.isDraining() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}

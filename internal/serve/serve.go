@@ -165,12 +165,10 @@ func (s *Server) Queued() int { return int(s.adm.queued.Load()) }
 // inflight request has finished or ctx expires. It is idempotent; the first
 // error (ctx expiry) is returned.
 func (s *Server) Drain(ctx context.Context) error {
-	s.adm.draining.Store(true)
-	done := make(chan struct{})
-	go func() {
-		s.adm.wg.Wait()
-		close(done)
-	}()
+	done := s.adm.startDrain()
+	if done == nil {
+		return nil
+	}
 	select {
 	case <-done:
 		return nil
@@ -180,17 +178,27 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Draining reports whether Drain has been initiated.
-func (s *Server) Draining() bool { return s.adm.draining.Load() }
+func (s *Server) Draining() bool { return s.adm.isDraining() }
 
 // admission is the request scheduler: a counting semaphore of inflight
 // slots plus a bounded wait queue. It is deliberately channel-based so a
 // queued request can abandon its wait the moment its context dies.
+//
+// Drain accounting is a mutex-guarded counter rather than a sync.WaitGroup:
+// a request can register (Add from a zero counter) at any moment, including
+// concurrently with a drain — a pairing the WaitGroup contract forbids and
+// the race detector flags. The mutex makes register-vs-drain a total order:
+// a request either registers before the drain flag is set (and the drain
+// waits for it) or observes the flag and is rejected.
 type admission struct {
 	sem      chan struct{} // cap = MaxInflight; a token is one running job
 	maxQueue int64
 	queued   atomic.Int64
-	draining atomic.Bool
-	wg       sync.WaitGroup // running jobs, for Drain
+
+	mu        sync.Mutex
+	draining  bool
+	active    int           // requests registered via enter and not yet exited
+	drainDone chan struct{} // non-nil while a drain waits; closed at active==0
 }
 
 func newAdmission(maxInflight, maxQueue int) *admission {
@@ -201,6 +209,52 @@ func newAdmission(maxInflight, maxQueue int) *admission {
 }
 
 func (a *admission) inflightNow() int { return len(a.sem) }
+
+// enter registers a request with the drain accounting; false means the
+// server is draining and the request must be rejected. Every true return
+// must be balanced by exactly one exit.
+func (a *admission) enter() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return false
+	}
+	a.active++
+	return true
+}
+
+// exit unregisters a request and, if a drain is waiting and this was the
+// last active request, releases it.
+func (a *admission) exit() {
+	a.mu.Lock()
+	a.active--
+	if a.active == 0 && a.drainDone != nil {
+		close(a.drainDone)
+		a.drainDone = nil
+	}
+	a.mu.Unlock()
+}
+
+// startDrain flips the draining flag and returns a channel that closes when
+// the last active request exits, or nil when the server is already idle.
+func (a *admission) startDrain() chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	if a.active == 0 {
+		return nil
+	}
+	if a.drainDone == nil {
+		a.drainDone = make(chan struct{})
+	}
+	return a.drainDone
+}
+
+func (a *admission) isDraining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
 
 // admitError tells the handler how to reject a request that was not
 // admitted.
@@ -214,16 +268,12 @@ type admitError struct {
 // overflows, the server drains, or ctx dies. On success it returns a
 // release function that must be called exactly once.
 func (a *admission) admit(ctx context.Context) (release func(), rej *admitError) {
-	// wg.Add precedes the draining check so Drain's wg.Wait cannot miss a
-	// request that raced past the flag.
-	a.wg.Add(1)
-	if a.draining.Load() {
-		a.wg.Done()
+	if !a.enter() {
 		return nil, &admitError{status: http.StatusServiceUnavailable, reason: "server is draining"}
 	}
 	release = func() {
 		<-a.sem
-		a.wg.Done()
+		a.exit()
 	}
 	// Fast path: a free slot right now.
 	select {
@@ -235,7 +285,7 @@ func (a *admission) admit(ctx context.Context) (release func(), rej *admitError)
 	// with 429 + Retry-After so callers back off instead of piling up.
 	if a.queued.Add(1) > a.maxQueue {
 		a.queued.Add(-1)
-		a.wg.Done()
+		a.exit()
 		return nil, &admitError{status: http.StatusTooManyRequests, retryAfter: true, reason: "admission queue full"}
 	}
 	defer a.queued.Add(-1)
@@ -246,7 +296,7 @@ func (a *admission) admit(ctx context.Context) (release func(), rej *admitError)
 		// The budget blew (or the client hung up) while still queued; map it
 		// through the same taxonomy as a mid-encode cancellation so the
 		// status is uniform wherever the deadline lands.
-		a.wg.Done()
+		a.exit()
 		return nil, &admitError{status: statusFor(ctx.Err()), reason: "request abandoned while queued: " + ctx.Err().Error()}
 	}
 }

@@ -91,6 +91,11 @@ func TestEncodeRoundTripMatchesCore(t *testing.T) {
 		{"checksum", "&checksum=1", func(o *core.Options) { o.Checksum = true }, 3, 48, 64, 28},
 		{"fast-search", "&fast-search=1", func(o *core.Options) { o.FastSearch = true }, 1, 64, 64, 30},
 		{"per-row", "&per-row=1", func(o *core.Options) { o.PerRowQuant = true }, 2, 48, 64, 26},
+		{"rans", "&backend=rans", func(o *core.Options) { o.Backend = codec.BackendRANS }, 2, 48, 64, 28},
+		{"rans-h264", "&backend=rans&profile=h264", func(o *core.Options) {
+			o.Backend = codec.BackendRANS
+			o.Profile = codec.H264
+		}, 1, 64, 64, 30},
 		{"frame-split", "&max-frame-w=32&max-frame-h=32&checksum=true", func(o *core.Options) {
 			o.MaxFrameW, o.MaxFrameH = 32, 32
 			o.Checksum = true
@@ -246,6 +251,13 @@ func TestErrorTaxonomyStatuses(t *testing.T) {
 	if status != http.StatusBadRequest {
 		t.Errorf("qp=999 status = %d, want 400", status)
 	}
+	status, body, _ := post(t, url+"/v1/encode?rows=8&cols=8&qp=30&backend=bogus", make([]byte, 256))
+	if status != http.StatusBadRequest {
+		t.Errorf("backend=bogus status = %d, want 400", status)
+	}
+	if !bytes.Contains(body, []byte("backend")) {
+		t.Errorf("backend=bogus error body %q does not name the parameter", body)
+	}
 }
 
 // TestPartialDecodeOverHTTP: a damaged v3 stream with ?partial=1 answers
@@ -330,11 +342,11 @@ func TestBackpressure429(t *testing.T) {
 	s, url := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
 	// Occupy the one inflight slot directly (white-box: this is exactly the
 	// state an admitted long-running encode holds).
-	s.adm.wg.Add(1)
+	s.adm.enter()
 	s.adm.sem <- struct{}{}
 	defer func() {
 		<-s.adm.sem
-		s.adm.wg.Done()
+		s.adm.exit()
 	}()
 
 	// Fill the one queue slot with a real queued request.
@@ -363,7 +375,7 @@ func TestBackpressure429(t *testing.T) {
 	// Releasing the slot lets the queued request through (to its 4xx decode
 	// error, which proves it executed).
 	<-s.adm.sem
-	s.adm.wg.Done()
+	s.adm.exit()
 	select {
 	case st := <-queuedDone:
 		if st != http.StatusUnprocessableEntity {
@@ -373,7 +385,7 @@ func TestBackpressure429(t *testing.T) {
 		t.Fatal("queued request never completed after slot release")
 	}
 	// Re-acquire for the deferred release (keep the defer balanced).
-	s.adm.wg.Add(1)
+	s.adm.enter()
 	s.adm.sem <- struct{}{}
 }
 
@@ -437,6 +449,54 @@ func TestGracefulDrain(t *testing.T) {
 	wg.Wait()
 	if err := <-drainErr; err != nil {
 		t.Fatalf("Drain returned %v", err)
+	}
+}
+
+// TestDrainAdmitRace: admission registration must be safely concurrent with
+// Drain. The original implementation tracked inflight requests with a
+// sync.WaitGroup whose counter could step 0→1 (admit) concurrently with a
+// Wait (drain) — a pairing the WaitGroup contract forbids and the race
+// detector flags under the right interleaving. This hammers exactly that
+// interleaving directly on the admission scheduler; meaningful under -race.
+func TestDrainAdmitRace(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		a := newAdmission(4, 8)
+		// Hold one slot so the drain is forced to block on a live request
+		// rather than observing an idle scheduler and returning immediately.
+		hold, rej := a.admit(context.Background())
+		if rej != nil {
+			t.Fatalf("round %d: initial admit rejected: %s", round, rej.reason)
+		}
+		var churn sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			churn.Add(1)
+			go func() {
+				defer churn.Done()
+				for {
+					release, rej := a.admit(context.Background())
+					if rej != nil {
+						return // draining
+					}
+					release()
+				}
+			}()
+		}
+		drained := make(chan error, 1)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			drained <- (&Server{adm: a}).Drain(ctx)
+		}()
+		for !a.isDraining() {
+			time.Sleep(10 * time.Microsecond)
+		}
+		// Release the held slot while the churners are still registering:
+		// the drain now completes concurrently with late registrations.
+		hold()
+		if err := <-drained; err != nil {
+			t.Fatalf("round %d: drain: %v", round, err)
+		}
+		churn.Wait()
 	}
 }
 
