@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test
+.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test
 
 all: build
 
@@ -46,6 +46,15 @@ race-touched:
 serve-test:
 	$(GO) test -race ./internal/serve/
 
+# The fleet harness under the race detector: the consistent-hash equivalence
+# matrix, the deterministic fault-injection sweeps ({latency, reset,
+# truncation, 500, 503-drain} × {encode, decode}), breaker/prober unit
+# tests, and the subprocess soak that SIGKILLs one of three real `llm265
+# serve` backends mid-traffic and requires it to rejoin on its own with
+# zero corrupt responses (DESIGN.md §14).
+proxy-test:
+	$(GO) test -race ./internal/proxy/ ./internal/faultinject/
+
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
 # starts at deep coverage; any input that panics or produces an untyped
@@ -56,7 +65,7 @@ fuzz-smoke:
 	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
 
-ci: build vet test serve-test race fuzz-smoke bench-guard
+ci: build vet test serve-test proxy-test race fuzz-smoke bench-guard
 
 # The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
 # deterministic synthetic stack with full metrics and writes a
@@ -77,7 +86,7 @@ bench-guard:
 # Regenerate the bench-guard baseline. Run on a quiet machine and commit the
 # result; keep the geometry small enough for CI to repeat cheaply.
 bench-baseline:
-	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -name baseline -out BENCH_baseline.json
+	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -name baseline -out BENCH_baseline.json
 
 # One pass over every paper-artifact micro-benchmark (testing.B).
 bench-micro:

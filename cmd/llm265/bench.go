@@ -48,6 +48,9 @@ type benchConfig struct {
 	// service (then the report carries no serve section).
 	ServeClients   int `json:"serve_clients,omitempty"`
 	ServePerClient int `json:"serve_per_client,omitempty"`
+	// ProxyBackends is the fleet size for the proxy benchmark; zero when the
+	// run did not exercise the sharding proxy.
+	ProxyBackends int `json:"proxy_backends,omitempty"`
 }
 
 type benchResults struct {
@@ -81,6 +84,9 @@ type benchResults struct {
 	// Serve carries the HTTP service benchmark (req/s, p50/p99 latency from
 	// /metricsz) when the run was invoked with -serve.
 	Serve *serveBenchResults `json:"serve,omitempty"`
+	// Proxy carries the sharding-proxy benchmark (direct vs proxied req/s,
+	// degraded-fleet p99) when the run was invoked with -proxy.
+	Proxy *proxyBenchResults `json:"proxy,omitempty"`
 	// Backends carries the cabac-vs-rans entropy-backend comparison when the
 	// run was invoked with a nonzero -backend-qp.
 	Backends *backendBenchResults `json:"backends,omitempty"`
@@ -128,6 +134,8 @@ func benchCmd(args []string) {
 		serveMode    = fs.Bool("serve", false, "also benchmark the HTTP service in-process: req/s and p50/p99 latency via /metricsz")
 		serveClients = fs.Int("serve-clients", 8, "concurrent clients for -serve")
 		serveReqs    = fs.Int("serve-reqs", 6, "requests per client for -serve")
+		proxyMode    = fs.Bool("proxy", false, "also benchmark the sharding proxy in-process: direct vs proxied req/s and degraded-fleet p99")
+		proxyBacks   = fs.Int("proxy-backends", 3, "fleet size for -proxy")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -158,6 +166,13 @@ func benchCmd(args []string) {
 		if c.ServeClients > 0 {
 			*serveMode = true
 			*serveClients, *serveReqs = c.ServeClients, c.ServePerClient
+		}
+		// Likewise a baseline with a proxy section.
+		if c.ProxyBackends > 0 {
+			*proxyMode = true
+			*proxyBacks = c.ProxyBackends
+		} else {
+			*proxyMode = false
 		}
 	}
 
@@ -220,6 +235,14 @@ func benchCmd(args []string) {
 		}
 	}
 
+	var proxyRes *proxyBenchResults
+	if *proxyMode {
+		proxyRes, err = runProxyBench(stack, *profile, *qp, *proxyBacks, *serveClients, *serveReqs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	// The backend comparison likewise runs after the engine measurement, on
 	// its own uninstrumented options, so the headline metrics snapshot stays a
 	// pure record of the main workload.
@@ -248,6 +271,13 @@ func benchCmd(args []string) {
 	if *serveMode {
 		rep.Config.ServeClients = *serveClients
 		rep.Config.ServePerClient = *serveReqs
+	}
+	if *proxyMode {
+		rep.Config.ProxyBackends = *proxyBacks
+		if rep.Config.ServeClients == 0 {
+			rep.Config.ServeClients = *serveClients
+			rep.Config.ServePerClient = *serveReqs
+		}
 	}
 	rep.Results = benchResults{
 		EncodeWallNs:     int64(encWall),
@@ -286,6 +316,7 @@ func benchCmd(args []string) {
 			"chunks_lost": snap.Counters["codec.decode.partial.chunks_lost"],
 		},
 		Serve:    serveRes,
+		Proxy:    proxyRes,
 		Backends: backendRes,
 	}
 	rep.Metrics = snap
@@ -312,6 +343,12 @@ func benchCmd(args []string) {
 			"bench %s serve: %d clients, %.1f req/s, encode p99 %.2fms, decode p99 %.2fms, %d bounced\n",
 			*name, sv.Clients, sv.ReqPerSec,
 			float64(sv.EncodeP99Ns)/1e6, float64(sv.DecodeP99Ns)/1e6, sv.Rejected429)
+	}
+	if px := rep.Results.Proxy; px != nil {
+		fmt.Fprintf(os.Stderr,
+			"bench %s proxy: %d backends, direct %.1f req/s, proxied %.1f req/s (overhead %.1f%%), degraded %.1f req/s p99 %.2fms, %d retries, %d hedges\n",
+			*name, px.Backends, px.DirectReqPerSec, px.ProxyReqPerSec, 100*px.OverheadFrac,
+			px.FailureReqPerSec, float64(px.FailureP99Ns)/1e6, px.Retries, px.Hedges)
 	}
 	if bk := rep.Results.Backends; bk != nil {
 		fmt.Fprintf(os.Stderr,
@@ -345,6 +382,9 @@ const (
 	// workload (a static shared table vs per-bin adaptation). Deterministic,
 	// so enforced on every machine.
 	guardRansRatioMax = 1.02
+	// guardProxyOverheadMax caps the sharding proxy's steady-state req/s
+	// cost over direct serve. Timing-gated like the other speed bands.
+	guardProxyOverheadMax = 0.10
 )
 
 // runBackendBench encodes and decodes the stack once per entropy backend at
@@ -464,6 +504,24 @@ func guardAgainstBaseline(base, cur *benchReport) {
 			c.Serve.Requests, b.Serve.Requests)
 		check(timingEnforced, c.Serve.ReqPerSec >= guardSpeedFactor*b.Serve.ReqPerSec,
 			"serve %.2f req/s, baseline %.2f req/s", c.Serve.ReqPerSec, b.Serve.ReqPerSec)
+	}
+
+	// Proxy bands: correctness (no unexpected bytes or statuses during the
+	// degraded-fleet phase) is machine-independent and always enforced; the
+	// overhead band and the degraded p99 band are timing-gated.
+	if b.Proxy != nil && c.Proxy != nil {
+		check(true, c.Proxy.FailureBadResponses == 0,
+			"proxy degraded phase produced %d non-taxonomy responses (want 0)", c.Proxy.FailureBadResponses)
+		check(timingEnforced, c.Proxy.OverheadFrac <= guardProxyOverheadMax,
+			"proxy overhead %.1f%% over direct serve exceeds %.0f%%",
+			100*c.Proxy.OverheadFrac, 100*guardProxyOverheadMax)
+		check(timingEnforced, c.Proxy.FailureReqPerSec >= guardSpeedFactor*b.Proxy.FailureReqPerSec,
+			"proxy degraded-fleet %.2f req/s, baseline %.2f req/s",
+			c.Proxy.FailureReqPerSec, b.Proxy.FailureReqPerSec)
+		check(timingEnforced, b.Proxy.FailureP99Ns == 0 ||
+			float64(c.Proxy.FailureP99Ns) <= float64(b.Proxy.FailureP99Ns)/guardSpeedFactor,
+			"proxy degraded-fleet p99 %.2fms, baseline %.2fms",
+			float64(c.Proxy.FailureP99Ns)/1e6, float64(b.Proxy.FailureP99Ns)/1e6)
 	}
 
 	if failures > 0 {

@@ -1,0 +1,266 @@
+// The proxy-mode benchmark: `llm265 bench -proxy` measures what the fleet
+// layer costs and what it buys. Three phases, all in-process on loopback
+// listeners:
+//
+//  1. direct — the client mix against one serve instance, no proxy: the
+//     req/s reference.
+//  2. proxied — the same mix through a proxy over proxyBackends serve
+//     instances: the steady-state overhead (banded at ≤10% by bench-guard
+//     on multi-CPU machines).
+//  3. failure — the same mix through a fresh proxy while one backend is
+//     draining: the degraded-fleet p99 and the proof that a third of the
+//     fleet going away produces typed errors at worst, never wrong bytes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/proxy"
+	"repro/internal/serve"
+)
+
+// proxyBenchResults is the proxy section of a benchReport.
+type proxyBenchResults struct {
+	Backends        int     `json:"backends"`
+	Clients         int     `json:"clients"`
+	DirectReqPerSec float64 `json:"direct_req_per_sec"`
+	ProxyReqPerSec  float64 `json:"proxy_req_per_sec"`
+	// OverheadFrac = 1 - proxy/direct req/s; negative means the fleet's
+	// extra capacity outweighed the hop.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Failure phase: one of the backends is draining for the whole phase.
+	FailureReqPerSec float64 `json:"failure_req_per_sec"`
+	FailureP99Ns     int64   `json:"failure_p99_ns"` // proxy.decode.latency_ns p99
+	// FailureBadResponses counts client-visible failures during the
+	// degraded phase that are NOT typed-taxonomy errors — wrong bytes or
+	// unexpected statuses. Must be zero; enforced by bench-guard.
+	FailureBadResponses int64 `json:"failure_bad_responses"`
+	FailureTypedErrors  int64 `json:"failure_typed_errors"` // 429/502/503/504 with a class
+	Retries             int64 `json:"retries"`              // failure-phase proxy.retries
+	Hedges              int64 `json:"hedges"`               // failure-phase proxy.hedges
+}
+
+// proxyBenchBackend is one in-process serve instance on a loopback listener.
+type proxyBenchBackend struct {
+	srv  *serve.Server
+	http *http.Server
+	url  string
+}
+
+func startBenchBackend() (*proxyBenchBackend, error) {
+	srv := serve.New(serve.Config{
+		MaxInflight: runtime.GOMAXPROCS(0),
+		Workers:     1,
+		Metrics:     obs.NewRegistry(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &proxyBenchBackend{srv: srv, http: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (b *proxyBenchBackend) stop() { b.http.Close() }
+
+// proxyBenchLoad drives clients×perClient requests (alternating encode and
+// decode) against base and reports wall time plus failure accounting.
+func proxyBenchLoad(base, encQuery string, encBody, container []byte, clients, perClient int) (wall time.Duration, ok, typed, bad int64) {
+	var (
+		okN, typedN, badN atomic.Int64
+		wg                sync.WaitGroup
+	)
+	client := &http.Client{}
+	typedStatuses := map[int]bool{429: true, 502: true, 503: true, 504: true}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				url, body := base+encQuery, encBody
+				if (c+i)%2 == 1 {
+					url, body = base+"/v1/decode", container
+				}
+				resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					badN.Add(1)
+					continue
+				}
+				respBody, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case rerr != nil:
+					badN.Add(1)
+				case resp.StatusCode == http.StatusOK:
+					okN.Add(1)
+				case typedStatuses[resp.StatusCode]:
+					var eb struct {
+						Class string `json:"class"`
+					}
+					if json.Unmarshal(respBody, &eb) == nil && eb.Class != "" {
+						typedN.Add(1)
+					} else {
+						badN.Add(1)
+					}
+				default:
+					badN.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start), okN.Load(), typedN.Load(), badN.Load()
+}
+
+// runProxyBench executes the three phases and assembles the proxy section.
+func runProxyBench(stack []*core.Tensor, profile string, qp, nBackends, clients, perClient int) (*proxyBenchResults, error) {
+	rows, cols := stack[0].Rows, stack[0].Cols
+	var encBody bytes.Buffer
+	for _, t := range stack {
+		raw := make([]byte, 4*len(t.Data))
+		for i, v := range t.Data {
+			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+		}
+		encBody.Write(raw)
+	}
+	opts := core.DefaultOptions()
+	opts.Profile = profileByName(profile)
+	enc, err := opts.EncodeStack(stack, qp)
+	if err != nil {
+		return nil, err
+	}
+	container := enc.Marshal()
+	encQuery := fmt.Sprintf("/v1/encode?layers=%d&rows=%d&cols=%d&qp=%d&profile=%s",
+		len(stack), rows, cols, qp, profile)
+
+	// Phase 1: direct against one backend.
+	direct, err := startBenchBackend()
+	if err != nil {
+		return nil, err
+	}
+	dWall, dOK, _, dBad := proxyBenchLoad(direct.url, encQuery, encBody.Bytes(), container, clients, perClient)
+	direct.stop()
+	if dOK == 0 || dBad > 0 {
+		return nil, fmt.Errorf("proxy bench direct phase: %d ok, %d bad responses", dOK, dBad)
+	}
+	directRPS := float64(dOK) / dWall.Seconds()
+
+	newFleet := func() ([]*proxyBenchBackend, []string, error) {
+		fleet := make([]*proxyBenchBackend, nBackends)
+		urls := make([]string, nBackends)
+		for i := range fleet {
+			b, err := startBenchBackend()
+			if err != nil {
+				return nil, nil, err
+			}
+			fleet[i], urls[i] = b, b.url
+		}
+		return fleet, urls, nil
+	}
+	newFront := func(urls []string) (*proxy.Proxy, *http.Server, string, error) {
+		p, err := proxy.New(proxy.Config{
+			Backends:      urls,
+			ProbeInterval: 100 * time.Millisecond,
+			OpenTimeout:   300 * time.Millisecond,
+			RetryBase:     5 * time.Millisecond,
+			RetryCap:      100 * time.Millisecond,
+			HedgeDelay:    50 * time.Millisecond,
+			Metrics:       obs.NewRegistry(),
+		})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		p.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			p.Close()
+			return nil, nil, "", err
+		}
+		hs := &http.Server{Handler: p.Handler()}
+		go hs.Serve(ln)
+		return p, hs, "http://" + ln.Addr().String(), nil
+	}
+
+	// Phase 2: steady-state through the proxy.
+	fleet, urls, err := newFleet()
+	if err != nil {
+		return nil, err
+	}
+	p, front, frontURL, err := newFront(urls)
+	if err != nil {
+		return nil, err
+	}
+	pWall, pOK, _, pBad := proxyBenchLoad(frontURL, encQuery, encBody.Bytes(), container, clients, perClient)
+	front.Close()
+	p.Close()
+	for _, b := range fleet {
+		b.stop()
+	}
+	if pOK == 0 || pBad > 0 {
+		return nil, fmt.Errorf("proxy bench steady phase: %d ok, %d bad responses", pOK, pBad)
+	}
+	proxyRPS := float64(pOK) / pWall.Seconds()
+
+	// Phase 3: degraded fleet — one backend drains for the whole phase; the
+	// prober and breaker route around it while we measure.
+	fleet, urls, err = newFleet()
+	if err != nil {
+		return nil, err
+	}
+	p, front, frontURL, err = newFront(urls)
+	if err != nil {
+		return nil, err
+	}
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		fleet[0].srv.Drain(context.Background())
+	}()
+	fWall, fOK, fTyped, fBad := proxyBenchLoad(frontURL, encQuery, encBody.Bytes(), container, clients, perClient)
+
+	// Scrape the degraded-phase latency + routing counters before teardown.
+	var snap metricszSnapshot
+	if resp, err := http.Get(frontURL + "/metricsz"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+	}
+	front.Close()
+	p.Close()
+	<-drainDone
+	for _, b := range fleet {
+		b.stop()
+	}
+	if fOK == 0 {
+		return nil, fmt.Errorf("proxy bench failure phase: no successful responses")
+	}
+
+	return &proxyBenchResults{
+		Backends:            nBackends,
+		Clients:             clients,
+		DirectReqPerSec:     directRPS,
+		ProxyReqPerSec:      proxyRPS,
+		OverheadFrac:        1 - proxyRPS/directRPS,
+		FailureReqPerSec:    float64(fOK) / fWall.Seconds(),
+		FailureP99Ns:        snap.Histograms["proxy.decode.latency_ns"].P99,
+		FailureBadResponses: fBad,
+		FailureTypedErrors:  fTyped,
+		Retries:             snap.Counters["proxy.retries"],
+		Hedges:              snap.Counters["proxy.hedges"],
+	}, nil
+}

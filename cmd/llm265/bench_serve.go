@@ -116,6 +116,15 @@ func runServeBench(stack []*core.Tensor, profile string, qp, clients, perClient 
 					served.Add(1)
 				case resp.StatusCode == http.StatusTooManyRequests:
 					bounced.Add(1)
+					// Honor the server's Retry-After hint (shared RFC 9110
+					// parser) instead of immediately re-slamming the full
+					// queue; capped so a bench run stays a bench run.
+					if wait, ok := serve.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+						if wait > 100*time.Millisecond {
+							wait = 100 * time.Millisecond
+						}
+						time.Sleep(wait)
+					}
 				default:
 					firstErr.CompareAndSwap(nil, fmt.Errorf("serve bench: unexpected status %d from %s", resp.StatusCode, url))
 					return

@@ -54,13 +54,15 @@ func main() {
 		benchCmd(os.Args[2:])
 	case "serve":
 		serveCmd(os.Args[2:])
+	case "proxy":
+		proxyCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|bench|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|bench|serve|proxy [flags]")
 	os.Exit(2)
 }
 

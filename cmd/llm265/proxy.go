@@ -1,0 +1,116 @@
+// The proxy subcommand: the fleet face of the codec service (DESIGN.md §14).
+//
+//	llm265 proxy -addr :8266 -backends http://127.0.0.1:8265,http://127.0.0.1:8267
+//
+// Shards /v1/encode and /v1/decode over the backend `llm265 serve` instances
+// by consistent hashing (explicit ?key=, else content hash), with active
+// health probing, per-backend circuit breakers, retry with capped jittered
+// backoff honoring Retry-After, hedged decodes, and shed-before-queue when a
+// key's replicas are all out. GET /healthz reports fleet state; GET
+// /metricsz exposes routing, retry/hedge and per-backend metrics. SIGTERM
+// or SIGINT stops the probers and the listener.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proxy"
+)
+
+func proxyCmd(args []string) {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	var (
+		addr          = fs.String("addr", ":8266", "listen address")
+		backends      = fs.String("backends", "", "comma-separated backend base URLs (required), e.g. http://10.0.0.1:8265,http://10.0.0.2:8265")
+		vnodes        = fs.Int("vnodes", 128, "virtual nodes per backend on the hash ring")
+		probeInterval = fs.Duration("probe-interval", time.Second, "active /healthz probe period")
+		probeTimeout  = fs.Duration("probe-timeout", 500*time.Millisecond, "single probe timeout")
+		rise          = fs.Int("rise", 2, "consecutive healthy probes to readmit a backend")
+		fall          = fs.Int("fall", 2, "consecutive failed probes to eject a backend")
+		breakerThresh = fs.Int("breaker-threshold", 3, "consecutive request failures that open a backend's circuit")
+		openTimeout   = fs.Duration("open-timeout", 2*time.Second, "open-circuit cool-down before a half-open probe request")
+		maxRetries    = fs.Int("max-retries", 2, "retry budget after the first attempt (0 disables retries)")
+		retryBase     = fs.Duration("retry-base", 25*time.Millisecond, "backoff base (capped exponential, full jitter)")
+		retryCap      = fs.Duration("retry-cap", time.Second, "backoff cap")
+		attemptTO     = fs.Duration("attempt-timeout", 0, "per-attempt upstream timeout (0 = client deadline only)")
+		hedgeDelay    = fs.Duration("hedge-delay", 0, "fixed decode hedging delay (0 = derive from observed upstream p99)")
+		noHedge       = fs.Bool("no-hedge", false, "disable hedged decode requests")
+		maxBody       = fs.Int64("max-body", 1<<30, "request body cap in bytes (413 beyond)")
+	)
+	fs.Parse(args)
+	if *backends == "" {
+		fatal(fmt.Errorf("proxy requires -backends"))
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			// Bare host:port is the common operator spelling; serve speaks
+			// plain HTTP, so default the scheme rather than reject.
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			urls = append(urls, u)
+		}
+	}
+
+	// The flag meaning of 0 retries is "disabled"; the Config sentinel for
+	// disabled is negative (0 selects the default).
+	retries := *maxRetries
+	if retries == 0 {
+		retries = -1
+	}
+	p, err := proxy.New(proxy.Config{
+		Backends:         urls,
+		VirtualNodes:     *vnodes,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		Rise:             *rise,
+		Fall:             *fall,
+		BreakerThreshold: *breakerThresh,
+		OpenTimeout:      *openTimeout,
+		MaxRetries:       retries,
+		RetryBase:        *retryBase,
+		RetryCap:         *retryCap,
+		AttemptTimeout:   *attemptTO,
+		HedgeDelay:       *hedgeDelay,
+		DisableHedge:     *noHedge,
+		MaxBodyBytes:     *maxBody,
+		Metrics:          obs.NewRegistry(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("llm265 proxy: listening on %s over %d backend(s) (probe %v, breaker %d/%v, retries %d)\n",
+			*addr, len(urls), *probeInterval, *breakerThresh, *openTimeout, *maxRetries)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case sig := <-sigCh:
+		fmt.Printf("llm265 proxy: %v, shutting down\n", sig)
+	}
+	httpSrv.Close()
+	fmt.Println("llm265 proxy: bye")
+}

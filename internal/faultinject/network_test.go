@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers any request with a fixed 64-byte body.
+func echoServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	body := strings.Repeat("abcdefgh", 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, body
+}
+
+func doGet(t *testing.T, client *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+func TestFlakyTransportScript(t *testing.T) {
+	ts, want := echoServer(t)
+	ft := &FlakyTransport{Inner: http.DefaultTransport}
+	client := &http.Client{Transport: ft}
+
+	ft.Enqueue(
+		ScriptReset(),
+		ScriptStatus(503, "1"),
+		ScriptTruncate(16),
+		ScriptLatency(50*time.Millisecond),
+		NetFault{Kind: NetPass},
+	)
+
+	// 1: reset — transport-level error, backend never contacted.
+	if _, _, err := doGet(t, client, ts.URL); err == nil || !IsInjectedReset(err) {
+		t.Fatalf("scripted reset produced %v, want ECONNRESET", err)
+	}
+
+	// 2: synthesized 503 with Retry-After.
+	resp, _, err := doGet(t, client, ts.URL)
+	if err != nil || resp.StatusCode != 503 {
+		t.Fatalf("scripted 503 produced %v / %v", resp, err)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+
+	// 3: truncation — 16 bytes arrive, then the read fails with a reset,
+	// never a clean EOF.
+	resp, body, err := doGet(t, client, ts.URL)
+	if resp == nil || resp.StatusCode != 200 {
+		t.Fatalf("truncate trial status = %v", resp)
+	}
+	if err == nil || !IsInjectedReset(err) {
+		t.Fatalf("truncated read ended with %v (got %d bytes), want reset", err, len(body))
+	}
+	if len(body) != 16 || string(body) != want[:16] {
+		t.Fatalf("truncated body = %d bytes %q, want the 16-byte prefix", len(body), body)
+	}
+
+	// 4: latency — the response is intact, just late.
+	start := time.Now()
+	resp, body, err = doGet(t, client, ts.URL)
+	if err != nil || resp.StatusCode != 200 || string(body) != want {
+		t.Fatalf("latency trial = %v / %v / %d bytes", resp, err, len(body))
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("latency fault added only %v", elapsed)
+	}
+
+	// 5: scripted pass + 6: exhausted script — both clean.
+	for i := 0; i < 2; i++ {
+		resp, body, err = doGet(t, client, ts.URL)
+		if err != nil || resp.StatusCode != 200 || string(body) != want {
+			t.Fatalf("pass-through trial %d = %v / %v", i, resp, err)
+		}
+	}
+
+	if got := ft.Matched(); got != 6 {
+		t.Fatalf("Matched = %d, want 6", got)
+	}
+	applied := ft.Applied()
+	for kind, want := range map[NetFaultKind]int{NetReset: 1, NetStatus: 1, NetTruncate: 1, NetLatency: 1} {
+		if applied[kind] != want {
+			t.Fatalf("Applied[%v] = %d, want %d (all: %v)", kind, applied[kind], want, applied)
+		}
+	}
+}
+
+func TestFlakyTransportStallRespectsContext(t *testing.T) {
+	ts, _ := echoServer(t)
+	ft := &FlakyTransport{Inner: http.DefaultTransport}
+	ft.Enqueue(ScriptStall(10 * time.Second))
+	client := &http.Client{Transport: ft}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stall ignored the context for %v", elapsed)
+	}
+
+	// A short stall ends in a reset on its own.
+	ft.Reset()
+	ft.Enqueue(ScriptStall(10 * time.Millisecond))
+	if _, err := client.Get(ts.URL); err == nil || !IsInjectedReset(err) {
+		t.Fatalf("short stall ended with %v, want reset", err)
+	}
+}
+
+func TestFlakyTransportMatch(t *testing.T) {
+	ts, want := echoServer(t)
+	host := strings.TrimPrefix(ts.URL, "http://")
+	ft := &FlakyTransport{
+		Inner: http.DefaultTransport,
+		Match: MatchHostPathPrefix(host, "/v1/"),
+	}
+	ft.Enqueue(ScriptReset())
+	client := &http.Client{Transport: ft}
+
+	// /healthz does not match: the script is untouched.
+	if resp, body, err := doGet(t, client, ts.URL+"/healthz"); err != nil || resp.StatusCode != 200 || string(body) != want {
+		t.Fatalf("unmatched request was faulted: %v / %v", resp, err)
+	}
+	if ft.Matched() != 0 {
+		t.Fatalf("Matched = %d after unmatched request", ft.Matched())
+	}
+	// /v1/decode matches and eats the reset.
+	if _, _, err := doGet(t, client, ts.URL+"/v1/decode"); err == nil || !IsInjectedReset(err) {
+		t.Fatalf("matched request not faulted: %v", err)
+	}
+
+	// Truncation allowance larger than the real body ends in clean EOF.
+	ft.Reset()
+	ft.Enqueue(ScriptTruncate(1 << 20))
+	resp, body, err := doGet(t, client, ts.URL+"/v1/decode")
+	if err != nil || resp.StatusCode != 200 || string(body) != want {
+		t.Fatalf("oversized truncation allowance broke a healthy response: %v / %v", err, resp)
+	}
+}

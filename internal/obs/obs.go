@@ -63,6 +63,40 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// ------------------------------------------------------------------ gauges
+
+// Gauge is a last-value-wins atomic int64 — the instantaneous-state
+// complement to Counter's monotone accumulation (a backend's circuit state,
+// a queue depth). The zero value is ready to use; a nil *Gauge is a valid
+// no-op sink.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the gauge. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reports the current level (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // --------------------------------------------------------------- histogram
 
 // histBuckets is the number of log₂ buckets: bucket i counts observations v
@@ -152,6 +186,17 @@ type HistogramStats struct {
 	P99   int64   `json:"p99"`
 }
 
+// Stats summarizes the histogram at call time — the same numbers a Snapshot
+// reports, available per-handle so latency-adaptive policies (the proxy's
+// p99-derived hedge delay) can read quantiles without snapshotting the whole
+// registry. A nil receiver reports the zero HistogramStats.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	return h.stats()
+}
+
 // stats summarizes the histogram. Concurrent Observe calls may land between
 // field reads; the snapshot is advisory, not transactional.
 func (h *Histogram) stats() HistogramStats {
@@ -218,6 +263,7 @@ func quantile(counts []int64, total int64, q float64) int64 {
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -225,6 +271,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
 	}
 }
@@ -248,6 +295,27 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a valid no-op handle) when the registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it on
@@ -343,6 +411,7 @@ func (s Span) End() time.Duration {
 type Snapshot struct {
 	TakenAt    time.Time                 `json:"taken_at"`
 	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
 	Histograms map[string]HistogramStats `json:"histograms"`
 }
 
@@ -353,6 +422,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	snap := &Snapshot{
 		TakenAt:    time.Now(),
 		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramStats{},
 	}
 	if r == nil {
@@ -362,6 +432,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {
 		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
 		snap.Histograms[name] = h.stats()
@@ -377,8 +450,11 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counters)+len(r.histograms))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	for n := range r.histograms {

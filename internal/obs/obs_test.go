@@ -238,3 +238,56 @@ func BenchmarkEnabledHistogram(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+// TestGauge pins the last-value-wins semantics, the nil no-op contract and
+// the snapshot section gauges land in.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("proxy.backend.a.state")
+	g.Set(3)
+	g.Set(1)
+	g.Add(1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge value = %d, want 2", got)
+	}
+	if r.Gauge("proxy.backend.a.state") != g {
+		t.Fatal("Gauge did not return the registered handle on re-resolution")
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["proxy.backend.a.state"] != 2 {
+		t.Fatalf("snapshot gauges = %v, want proxy.backend.a.state=2", snap.Gauges)
+	}
+
+	var nilG *Gauge
+	nilG.Set(9)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge is not a no-op")
+	}
+	var nilR *Registry
+	if nilR.Gauge("x") != nil {
+		t.Fatal("nil registry handed out a non-nil gauge")
+	}
+}
+
+// TestHistogramStatsExported: the exported per-handle Stats must agree with
+// the snapshot view, and be zero-valued on a nil handle.
+func TestHistogramStatsExported(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{10, 20, 4000} {
+		h.Observe(v)
+	}
+	st := h.Stats()
+	snap := r.Snapshot().Histograms["lat"]
+	if st != snap {
+		t.Fatalf("Stats() = %+v, snapshot = %+v", st, snap)
+	}
+	if st.Count != 3 || st.Max != 4000 {
+		t.Fatalf("Stats() = %+v, want count 3 max 4000", st)
+	}
+	var nilH *Histogram
+	if nilH.Stats() != (HistogramStats{}) {
+		t.Fatal("nil histogram Stats not zero")
+	}
+}

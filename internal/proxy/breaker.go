@@ -1,0 +1,138 @@
+package proxy
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic flows,
+// consecutive failures counted), open (traffic blocked until a cool-down
+// elapses), half-open (exactly one probe request is allowed through; its
+// outcome decides between closed and open).
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// breaker is the per-backend passive-ejection circuit. The active prober
+// (health.go) catches backends that are down; the breaker catches backends
+// that are up but failing — draining, crash-looping, or serving resets —
+// and ejects them after threshold consecutive failures without waiting for
+// the next probe tick.
+//
+// now is injectable so tests can drive the open→half-open transition
+// without sleeping.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	openTimeout time.Duration
+	now         func() time.Time
+
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open trial is in flight
+}
+
+func newBreaker(threshold int, openTimeout time.Duration) *breaker {
+	return &breaker{
+		threshold:   threshold,
+		openTimeout: openTimeout,
+		now:         time.Now,
+	}
+}
+
+// allow reports whether a request may be sent to this backend right now.
+// In the open state it flips to half-open once the cool-down has elapsed
+// and admits the caller as the single probe; in half-open it admits nothing
+// while the probe is in flight. Every true return must be followed by
+// exactly one success or failure call.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.openTimeout {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed request. A half-open probe success closes the
+// circuit; closed successes reset the consecutive-failure count.
+// Returns true when the circuit transitioned to closed from a non-closed
+// state (the "backend rejoined" event the metrics record).
+func (b *breaker) success() (closedNow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	closedNow = b.state != breakerClosed
+	b.state = breakerClosed
+	b.consecFails = 0
+	b.probing = false
+	return closedNow
+}
+
+// failure records a failed request. A half-open probe failure re-opens the
+// circuit and re-arms the cool-down; threshold consecutive closed-state
+// failures open it. Returns true when the circuit transitioned to open
+// (the ejection event).
+func (b *breaker) failure() (openedNow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		return true
+	case breakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return true
+		}
+	}
+	return false
+}
+
+// abort releases an admitted trial without judging the backend — the
+// canceled-hedge-loser case. Without it a half-open probe slot canceled by
+// a winning sibling would stay occupied forever and wedge the circuit.
+func (b *breaker) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// snapshotState reports the current state for gauges and /healthz.
+func (b *breaker) snapshotState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,122 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's open→half-open transition without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, openTimeout time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	b := newBreaker(threshold, openTimeout)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker must admit traffic")
+	}
+	if b.failure() {
+		t.Fatal("failure 1/3 must not open the circuit")
+	}
+	if b.failure() {
+		t.Fatal("failure 2/3 must not open the circuit")
+	}
+	if !b.failure() {
+		t.Fatal("failure 3/3 must report the open transition")
+	}
+	if b.snapshotState() != breakerOpen {
+		t.Fatalf("state = %v, want open", b.snapshotState())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic before the cool-down")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.failure()
+	b.failure()
+	if b.success() {
+		t.Fatal("closed-state success must not report a rejoin transition")
+	}
+	// The two earlier failures were cleared; three more are needed.
+	b.failure()
+	if b.failure() {
+		t.Fatal("circuit opened after success reset; consecutive count leaked")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.failure() // open
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("breaker admitted traffic 1ms before the cool-down elapsed")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cool-down elapsed; the probe must be admitted")
+	}
+	if b.snapshotState() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.snapshotState())
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while the half-open probe is in flight")
+	}
+	if !b.success() {
+		t.Fatal("half-open probe success must report the rejoin transition")
+	}
+	if b.snapshotState() != breakerClosed || !b.allow() {
+		t.Fatal("circuit did not close after the probe succeeded")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	if !b.failure() {
+		t.Fatal("half-open probe failure must report the re-open transition")
+	}
+	// The cool-down re-arms from the re-open instant.
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted traffic before a fresh cool-down")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("fresh cool-down elapsed; probe must be admitted")
+	}
+}
+
+// TestBreakerAbortReleasesProbe: a canceled hedge loser holding the
+// half-open probe slot must release it without judging the backend, or the
+// circuit wedges half-open forever.
+func TestBreakerAbortReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.abort()
+	if b.snapshotState() != breakerHalfOpen {
+		t.Fatalf("abort changed state to %v, want half-open retained", b.snapshotState())
+	}
+	if !b.allow() {
+		t.Fatal("probe slot not released by abort")
+	}
+	if !b.success() {
+		t.Fatal("fresh probe success must close the circuit")
+	}
+}

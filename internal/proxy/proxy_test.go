@@ -1,0 +1,233 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// testBackend is one in-process serve instance behind real HTTP, with a
+// switchable /healthz so prober tests can take it "down" without port
+// juggling.
+type testBackend struct {
+	srv         *serve.Server
+	ts          *httptest.Server
+	host        string // host:port — what the proxy uses as the backend name
+	healthzDown atomic.Bool
+}
+
+func newTestBackends(t testing.TB, n int) []*testBackend {
+	t.Helper()
+	out := make([]*testBackend, n)
+	for i := range out {
+		b := &testBackend{srv: serve.New(serve.Config{MaxInflight: 4})}
+		inner := b.srv.Handler()
+		b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" && b.healthzDown.Load() {
+				http.Error(w, `{"status":"forced-down"}`, http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(b.ts.Close)
+		b.host = strings.TrimPrefix(b.ts.URL, "http://")
+		out[i] = b
+	}
+	return out
+}
+
+// newTestProxy mounts a proxy over the backends with fast test timings; mod
+// may tweak the config before New. Probers are NOT started — tests that
+// exercise active probing call p.Start() themselves.
+func newTestProxy(t testing.TB, backends []*testBackend, ft *faultinject.FlakyTransport, mod func(*Config)) (*Proxy, string) {
+	t.Helper()
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.ts.URL
+	}
+	cfg := Config{
+		Backends:   urls,
+		MaxRetries: 2,
+		RetryBase:  time.Millisecond,
+		RetryCap:   5 * time.Millisecond,
+	}
+	if ft != nil {
+		cfg.Transport = ft
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return p, ts.URL
+}
+
+func post(t testing.TB, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response from %s: %v", url, err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// counters fetches /metricsz and returns counters and gauges merged —
+// the map the sweep assertions diff.
+func counters(t testing.TB, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatalf("GET /metricsz: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /metricsz: %v", err)
+	}
+	out := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+	for k, v := range snap.Counters {
+		out[k] = v
+	}
+	for k, v := range snap.Gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// goldenVectors loads the conformance corpus: (stream, wantPlanes) pairs.
+func goldenVectors(t testing.TB) map[string][2][]byte {
+	t.Helper()
+	dir := filepath.Join("..", "codec", "testdata", "golden")
+	streams, err := filepath.Glob(filepath.Join(dir, "*.l265"))
+	if err != nil || len(streams) == 0 {
+		t.Fatalf("no golden vectors under %s (err=%v)", dir, err)
+	}
+	out := make(map[string][2][]byte, len(streams))
+	for _, sp := range streams {
+		name := strings.TrimSuffix(filepath.Base(sp), ".l265")
+		stream, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes, err := os.ReadFile(filepath.Join(dir, name+".planes"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = [2][]byte{stream, planes}
+	}
+	return out
+}
+
+// encodeBody builds a deterministic float32 LE payload of layers×rows×cols.
+func encodeBody(seed int64, layers, rows, cols int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 0, layers*rows*cols*4)
+	for i := 0; i < layers*rows*cols; i++ {
+		u := math.Float32bits(rng.Float32()*2 - 1)
+		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return buf
+}
+
+// TestProxyEquivalenceMatrix is the satellite-4 gate: every golden vector
+// decodes byte-identically through 1-, 2- and 3-backend topologies, and an
+// encode through the proxy matches the same encode against a backend
+// directly. The proxy must be invisible to payloads.
+func TestProxyEquivalenceMatrix(t *testing.T) {
+	golden := goldenVectors(t)
+	enc := encodeBody(7, 2, 64, 64)
+	const encQuery = "/v1/encode?layers=2&rows=64&cols=64&qp=30"
+
+	// Reference encode against a lone backend, no proxy.
+	ref := newTestBackends(t, 1)[0]
+	refStatus, refEnc, _ := post(t, ref.ts.URL+encQuery, enc)
+	if refStatus != http.StatusOK {
+		t.Fatalf("direct encode status %d: %s", refStatus, refEnc)
+	}
+
+	for _, n := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("backends=%d", n), func(t *testing.T) {
+			backends := newTestBackends(t, n)
+			_, base := newTestProxy(t, backends, nil, nil)
+
+			for name, pair := range golden {
+				status, got, hdr := post(t, base+"/v1/decode", pair[0])
+				if status != http.StatusOK {
+					t.Fatalf("%s: decode via proxy status %d: %s", name, status, got)
+				}
+				if !bytes.Equal(got, pair[1]) {
+					t.Fatalf("%s: proxy decode differs from golden .planes (%d vs %d bytes)",
+						name, len(got), len(pair[1]))
+				}
+				if hdr.Get("X-Llm265-Backend") == "" {
+					t.Fatalf("%s: response missing X-Llm265-Backend", name)
+				}
+			}
+
+			status, got, _ := post(t, base+encQuery, enc)
+			if status != http.StatusOK {
+				t.Fatalf("encode via proxy status %d: %s", status, got)
+			}
+			if !bytes.Equal(got, refEnc) {
+				t.Fatalf("proxy encode differs from direct encode (%d vs %d bytes)", len(got), len(refEnc))
+			}
+		})
+	}
+}
+
+// TestProxyConsistentRouting: the same explicit key lands on the same
+// backend every time, and different keys spread across the fleet.
+func TestProxyConsistentRouting(t *testing.T) {
+	backends := newTestBackends(t, 3)
+	_, base := newTestProxy(t, backends, nil, nil)
+	golden := goldenVectors(t)
+	var stream []byte
+	for _, pair := range golden {
+		stream = pair[0]
+		break
+	}
+
+	hosts := map[string]bool{}
+	var pinned string
+	for i := 0; i < 6; i++ {
+		_, _, hdr := post(t, base+"/v1/decode?key=tenant-42", stream)
+		h := hdr.Get("X-Llm265-Backend")
+		if pinned == "" {
+			pinned = h
+		} else if h != pinned {
+			t.Fatalf("key=tenant-42 moved %s → %s with a stable fleet", pinned, h)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		_, _, hdr := post(t, base+fmt.Sprintf("/v1/decode?key=spread-%d", i), stream)
+		hosts[hdr.Get("X-Llm265-Backend")] = true
+	}
+	if len(hosts) < 2 {
+		t.Fatalf("32 distinct keys all landed on one backend: %v", hosts)
+	}
+}

@@ -383,14 +383,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusOK
 	state := "ok"
-	if s.adm.isDraining() {
+	draining := s.adm.isDraining()
+	if draining {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	// The explicit draining field is the machine-readable contract the
+	// proxy's active prober keys on: a draining backend is ejected from
+	// rotation while its listener is still up, so inflight work finishes
+	// without new work arriving (DESIGN.md §14).
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":       state,
+		"draining":     draining,
 		"inflight":     s.Inflight(),
 		"queued":       s.Queued(),
 		"max_inflight": s.cfg.MaxInflight,

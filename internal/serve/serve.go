@@ -275,9 +275,21 @@ func (a *admission) admit(ctx context.Context) (release func(), rej *admitError)
 		<-a.sem
 		a.exit()
 	}
+	// expired rejects a request whose budget died before it could start
+	// computing: the slot is handed straight back instead of dispatching a
+	// job whose every ctx poll would fail — queue-expiry waste the pool never
+	// sees.
+	expired := func(err error) (func(), *admitError) {
+		<-a.sem
+		a.exit()
+		return nil, &admitError{status: statusFor(err), reason: "request expired before dispatch: " + err.Error()}
+	}
 	// Fast path: a free slot right now.
 	select {
 	case a.sem <- struct{}{}:
+		if err := ctx.Err(); err != nil {
+			return expired(err)
+		}
 		return release, nil
 	default:
 	}
@@ -291,6 +303,13 @@ func (a *admission) admit(ctx context.Context) (release func(), rej *admitError)
 	defer a.queued.Add(-1)
 	select {
 	case a.sem <- struct{}{}:
+		// The slot arrived, but the deadline may have passed while this
+		// request sat in the queue (a free slot and a dead context can become
+		// ready together — select picks arbitrarily). Dispatching it would
+		// burn pool time on work that is already 504.
+		if err := ctx.Err(); err != nil {
+			return expired(err)
+		}
 		return release, nil
 	case <-ctx.Done():
 		// The budget blew (or the client hung up) while still queued; map it
