@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test
+.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test store-test
 
 all: build
 
@@ -55,6 +55,14 @@ serve-test:
 proxy-test:
 	$(GO) test -race ./internal/proxy/ ./internal/faultinject/
 
+# The content-addressed store under the race detector: pack/fetch round-trip
+# and stitch validation, cross-checkpoint dedupe, manifest tamper rejection,
+# and the Model LRU (budget bound, hit/miss/eviction accounting) hammered
+# from concurrent goroutines (DESIGN.md §15). The packed-inference test in
+# internal/llm rides along because it is the end-to-end consumer of the LRU.
+store-test:
+	$(GO) test -race ./internal/store/ ./internal/llm/
+
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
 # starts at deep coverage; any input that panics or produces an untyped
@@ -65,7 +73,7 @@ fuzz-smoke:
 	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
 
-ci: build vet test serve-test proxy-test race fuzz-smoke bench-guard
+ci: build vet test serve-test proxy-test store-test race fuzz-smoke bench-guard
 
 # The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
 # deterministic synthetic stack with full metrics and writes a
@@ -86,7 +94,7 @@ bench-guard:
 # Regenerate the bench-guard baseline. Run on a quiet machine and commit the
 # result; keep the geometry small enough for CI to repeat cheaply.
 bench-baseline:
-	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -name baseline -out BENCH_baseline.json
+	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -store -name baseline -out BENCH_baseline.json
 
 # One pass over every paper-artifact micro-benchmark (testing.B).
 bench-micro:

@@ -51,6 +51,9 @@ type benchConfig struct {
 	// ProxyBackends is the fleet size for the proxy benchmark; zero when the
 	// run did not exercise the sharding proxy.
 	ProxyBackends int `json:"proxy_backends,omitempty"`
+	// StoreBench records that the run exercised the content-addressed store
+	// section (pack/fetch dedup, O(region) decode, LRU serving).
+	StoreBench bool `json:"store_bench,omitempty"`
 }
 
 type benchResults struct {
@@ -90,6 +93,10 @@ type benchResults struct {
 	// Backends carries the cabac-vs-rans entropy-backend comparison when the
 	// run was invoked with a nonzero -backend-qp.
 	Backends *backendBenchResults `json:"backends,omitempty"`
+	// Store carries the content-addressed store benchmark (dedup bytes,
+	// region-decode chunk counts and speedup, LRU residency) when the run was
+	// invoked with -store.
+	Store *storeBenchResults `json:"store,omitempty"`
 }
 
 // backendBenchResults compares the two entropy backends on the same stack at
@@ -136,6 +143,7 @@ func benchCmd(args []string) {
 		serveReqs    = fs.Int("serve-reqs", 6, "requests per client for -serve")
 		proxyMode    = fs.Bool("proxy", false, "also benchmark the sharding proxy in-process: direct vs proxied req/s and degraded-fleet p99")
 		proxyBacks   = fs.Int("proxy-backends", 3, "fleet size for -proxy")
+		storeMode    = fs.Bool("store", false, "also benchmark the content-addressed store: pack/fetch dedup, O(region) layer decode, LRU serving under a byte budget")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -174,6 +182,8 @@ func benchCmd(args []string) {
 		} else {
 			*proxyMode = false
 		}
+		// And a baseline with a store section.
+		*storeMode = c.StoreBench
 	}
 
 	stack := syntheticStack(*layers, *rows, *cols, *seed)
@@ -243,6 +253,14 @@ func benchCmd(args []string) {
 		}
 	}
 
+	var storeRes *storeBenchResults
+	if *storeMode {
+		storeRes, err = runStoreBench(stack, *profile, *qp, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	// The backend comparison likewise runs after the engine measurement, on
 	// its own uninstrumented options, so the headline metrics snapshot stays a
 	// pure record of the main workload.
@@ -279,6 +297,7 @@ func benchCmd(args []string) {
 			rep.Config.ServePerClient = *serveReqs
 		}
 	}
+	rep.Config.StoreBench = *storeMode
 	rep.Results = benchResults{
 		EncodeWallNs:     int64(encWall),
 		DecodeWallNs:     int64(decWall),
@@ -318,6 +337,7 @@ func benchCmd(args []string) {
 		Serve:    serveRes,
 		Proxy:    proxyRes,
 		Backends: backendRes,
+		Store:    storeRes,
 	}
 	rep.Metrics = snap
 
@@ -349,6 +369,13 @@ func benchCmd(args []string) {
 			"bench %s proxy: %d backends, direct %.1f req/s, proxied %.1f req/s (overhead %.1f%%), degraded %.1f req/s p99 %.2fms, %d retries, %d hedges\n",
 			*name, px.Backends, px.DirectReqPerSec, px.ProxyReqPerSec, 100*px.OverheadFrac,
 			px.FailureReqPerSec, float64(px.FailureP99Ns)/1e6, px.Retries, px.Hedges)
+	}
+	if st := rep.Results.Store; st != nil {
+		fmt.Fprintf(os.Stderr,
+			"bench %s store: dedup saved %.1f%% (%d of %d bytes), layer decode %d of %d chunks (%.1fx), LRU peak %d/%d bytes, accuracy delta %g\n",
+			*name, 100*st.DedupSavedFrac, st.DedupSavedBytes, st.PackedBytes,
+			st.LayerDecodeChunks, st.FullDecodeChunks, st.RegionSpeedup,
+			st.PeakResidentBytes, st.BudgetBytes, st.AccuracyDelta)
 	}
 	if bk := rep.Results.Backends; bk != nil {
 		fmt.Fprintf(os.Stderr,
@@ -522,6 +549,35 @@ func guardAgainstBaseline(base, cur *benchReport) {
 			float64(c.Proxy.FailureP99Ns) <= float64(b.Proxy.FailureP99Ns)/guardSpeedFactor,
 			"proxy degraded-fleet p99 %.2fms, baseline %.2fms",
 			float64(c.Proxy.FailureP99Ns)/1e6, float64(b.Proxy.FailureP99Ns)/1e6)
+	}
+
+	// Store bands: chunk counts, packed/unique bytes and the accuracy delta
+	// are deterministic for a given config+seed and are pinned exactly; the
+	// region-decode speedup is wall clock and therefore timing-gated. The
+	// O(region) property itself (a layer decode touches strictly fewer chunks
+	// than the full decode) and the LRU budget bound are always enforced.
+	if b.Store != nil && c.Store != nil {
+		check(true, c.Store.AccuracyDelta == 0,
+			"store LRU serving drifted from full decode by %g (want exact)", c.Store.AccuracyDelta)
+		check(true, c.Store.PeakResidentBytes <= c.Store.BudgetBytes,
+			"store LRU peak %d bytes exceeds budget %d", c.Store.PeakResidentBytes, c.Store.BudgetBytes)
+		check(true, c.Store.LayerDecodeChunks < c.Store.FullDecodeChunks,
+			"layer decode touched %d of %d chunks (random access is not O(region))",
+			c.Store.LayerDecodeChunks, c.Store.FullDecodeChunks)
+		check(true, c.Store.FullDecodeChunks == b.Store.FullDecodeChunks &&
+			c.Store.LayerDecodeChunks == b.Store.LayerDecodeChunks,
+			"chunk counts full=%d layer=%d, baseline full=%d layer=%d (chunking drifted)",
+			c.Store.FullDecodeChunks, c.Store.LayerDecodeChunks,
+			b.Store.FullDecodeChunks, b.Store.LayerDecodeChunks)
+		check(true, c.Store.PackedBytes == b.Store.PackedBytes &&
+			c.Store.UniqueBlobBytes == b.Store.UniqueBlobBytes,
+			"packed %d / unique %d bytes, baseline %d / %d (store layout drifted)",
+			c.Store.PackedBytes, c.Store.UniqueBlobBytes,
+			b.Store.PackedBytes, b.Store.UniqueBlobBytes)
+		check(timingEnforced, b.Store.RegionSpeedup == 0 ||
+			c.Store.RegionSpeedup >= guardSpeedFactor*b.Store.RegionSpeedup,
+			"region-decode speedup %.2fx, baseline %.2fx",
+			c.Store.RegionSpeedup, b.Store.RegionSpeedup)
 	}
 
 	if failures > 0 {

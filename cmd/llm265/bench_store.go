@@ -1,0 +1,172 @@
+// The -store bench section: content-addressed packing and random-access
+// serving (DESIGN.md §15) measured on the bench workload.
+//
+// The section packs the synthetic stack twice — a base checkpoint and a
+// fine-tune with one perturbed layer — so the dedup numbers reflect the
+// cross-checkpoint chunk sharing the store exists for. It then contrasts a
+// full-stack decode against a single-layer DecodeLayer (chunk counts are
+// deterministic and prove the O(region) property; the wall-clock speedup is
+// timing and therefore advisory), and replays every layer through a Model
+// LRU under a two-layer byte budget, recording peak resident bytes and the
+// worst value deviation versus the full decode — which must be exactly zero,
+// the low-memory path is not allowed to cost accuracy.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// storeBenchResults is the "store" section of the bench report. Byte and
+// chunk counts are deterministic for a given config+seed and are banded
+// exactly by bench-guard; the Ns/speedup fields are timing and advisory.
+type storeBenchResults struct {
+	// Packing: two checkpoints' container bytes vs unique blob bytes.
+	PackedBytes     int64   `json:"packed_bytes"`
+	UniqueBlobs     int     `json:"unique_blobs"`
+	UniqueBlobBytes int64   `json:"unique_blob_bytes"`
+	DedupSavedBytes int64   `json:"dedup_saved_bytes"`
+	DedupSavedFrac  float64 `json:"dedup_saved_frac"`
+	// Random access: chunks entropy-decoded by a full decode vs one layer.
+	FullDecodeChunks  int64   `json:"full_decode_chunks"`
+	LayerDecodeChunks int64   `json:"layer_decode_chunks"`
+	FullDecodeNs      int64   `json:"full_decode_ns"`
+	LayerDecodeNs     int64   `json:"layer_decode_ns"`
+	RegionSpeedup     float64 `json:"region_speedup"` // full wall / layer wall
+	// LRU serving under a byte budget.
+	BudgetBytes       int64 `json:"budget_bytes"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+	LRUHits           int64 `json:"lru_hits"`
+	LRUMisses         int64 `json:"lru_misses"`
+	LRUEvictions      int64 `json:"lru_evictions"`
+	// AccuracyDelta is the largest |LRU-served − full-decode| over every
+	// value of every layer. The pipeline is deterministic end to end, so any
+	// nonzero value is a correctness bug, not noise.
+	AccuracyDelta float64 `json:"accuracy_delta"`
+}
+
+// runStoreBench packs, fetches and serves the bench stack through the store.
+func runStoreBench(stack []*core.Tensor, profile string, qp, workers int) (*storeBenchResults, error) {
+	opts := core.DefaultOptions()
+	opts.Profile = profileByName(profile)
+	opts.Workers = workers
+	opts.Index = true
+
+	base, err := opts.EncodeStack(stack, qp)
+	if err != nil {
+		return nil, fmt.Errorf("store bench encode: %w", err)
+	}
+	// The fine-tune: last layer sign-flipped (a change no quantizer absorbs),
+	// everything else bit-identical, so the two checkpoints share exactly the
+	// chunks not covering the last layer.
+	tuned := make([]*core.Tensor, len(stack))
+	copy(tuned, stack)
+	last := core.NewTensor(stack[len(stack)-1].Rows, stack[len(stack)-1].Cols)
+	for i, v := range stack[len(stack)-1].Data {
+		last.Data[i] = -v
+	}
+	tuned[len(tuned)-1] = last
+	tunedEnc, err := opts.EncodeStack(tuned, qp)
+	if err != nil {
+		return nil, fmt.Errorf("store bench encode tuned: %w", err)
+	}
+
+	dir, err := os.MkdirTemp("", "llm265-bench-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.Open(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	baseMan, err := s.Pack("base", []store.PackEntry{{Name: "w", Enc: base}})
+	if err != nil {
+		return nil, err
+	}
+	tunedMan, err := s.Pack("tuned", []store.PackEntry{{Name: "w", Enc: tunedEnc}})
+	if err != nil {
+		return nil, err
+	}
+	blobs, blobBytes, err := s.Stats()
+	if err != nil {
+		return nil, err
+	}
+	res := &storeBenchResults{
+		PackedBytes:     baseMan.PackedBytes() + tunedMan.PackedBytes(),
+		UniqueBlobs:     blobs,
+		UniqueBlobBytes: blobBytes,
+	}
+	res.DedupSavedBytes = res.PackedBytes - res.UniqueBlobBytes
+	res.DedupSavedFrac = float64(res.DedupSavedBytes) / float64(res.PackedBytes)
+
+	// O(region) contrast on the fetched base checkpoint: decode everything,
+	// then one layer, counting entropy-decoded chunks for each.
+	fetched, err := s.Fetch("base")
+	if err != nil {
+		return nil, err
+	}
+	enc := fetched["w"]
+	fullReg := obs.NewRegistry()
+	fullOpts := opts
+	fullOpts.Metrics = fullReg
+	fullStart := time.Now()
+	full, err := fullOpts.DecodeStack(enc)
+	if err != nil {
+		return nil, fmt.Errorf("store bench full decode: %w", err)
+	}
+	res.FullDecodeNs = int64(time.Since(fullStart))
+	res.FullDecodeChunks = fullReg.Snapshot().Counters["codec.decode.chunks"]
+
+	layerReg := obs.NewRegistry()
+	layerOpts := opts
+	layerOpts.Metrics = layerReg
+	mid := len(stack) / 2
+	layerStart := time.Now()
+	layerT, err := layerOpts.DecodeLayer(enc, mid)
+	if err != nil {
+		return nil, fmt.Errorf("store bench layer decode: %w", err)
+	}
+	res.LayerDecodeNs = int64(time.Since(layerStart))
+	res.LayerDecodeChunks = layerReg.Snapshot().Counters["codec.decode.chunks"]
+	if res.LayerDecodeNs > 0 {
+		res.RegionSpeedup = float64(res.FullDecodeNs) / float64(res.LayerDecodeNs)
+	}
+	for i, v := range layerT.Data {
+		if v != full[mid].Data[i] {
+			return nil, fmt.Errorf("store bench: DecodeLayer(%d) differs from full decode at %d", mid, i)
+		}
+	}
+
+	// LRU serving: every layer twice under a two-layer budget, worst value
+	// deviation against the full decode.
+	rows, cols := stack[0].Rows, stack[0].Cols
+	res.BudgetBytes = 2 * int64(rows) * int64(cols) * 4
+	model, err := s.OpenModel("base", opts, res.BudgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < 2; pass++ {
+		for l := range stack {
+			t, err := model.Layer("w", l)
+			if err != nil {
+				return nil, fmt.Errorf("store bench layer %d: %w", l, err)
+			}
+			for i, v := range t.Data {
+				if d := math.Abs(float64(v) - float64(full[l].Data[i])); d > res.AccuracyDelta {
+					res.AccuracyDelta = d
+				}
+			}
+		}
+	}
+	st := model.Stats()
+	res.PeakResidentBytes = st.MaxResidentBytes
+	res.LRUHits, res.LRUMisses, res.LRUEvictions = st.Hits, st.Misses, st.Evictions
+	return res, nil
+}

@@ -6,6 +6,8 @@
 //	llm265 decode -in w.l265 -out w_rec.f32
 //	llm265 info   -in w.l265
 //	llm265 verify -in w.l265
+//	llm265 pack   -store s -model m w.l265 ...
+//	llm265 fetch  -store s -model m -out dir
 //
 // verify checks container integrity without writing anything and maps the
 // decode-error taxonomy onto distinct exit codes so scripts can branch on
@@ -50,6 +52,10 @@ func main() {
 		infoCmd(os.Args[2:])
 	case "verify":
 		verifyCmd(os.Args[2:])
+	case "pack":
+		packCmd(os.Args[2:])
+	case "fetch":
+		fetchCmd(os.Args[2:])
 	case "bench":
 		benchCmd(os.Args[2:])
 	case "serve":
@@ -62,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|bench|serve|proxy [flags]")
+	fmt.Fprintln(os.Stderr, "usage: llm265 encode|decode|info|verify|pack|fetch|bench|serve|proxy [flags]")
 	os.Exit(2)
 }
 
@@ -123,6 +129,7 @@ func encodeCmd(args []string) {
 		fastSearch = fs.Bool("fast-search", false, "two-stage SATD-pruned intra mode search (faster; bytes differ from the default search)")
 		workers    = fs.Int("workers", 0, "encode worker pool size (0 = GOMAXPROCS); output bytes are identical for any value")
 		checksum   = fs.Bool("checksum", false, "emit the hardened v3 container: CRC32C on header and every chunk, verified on decode")
+		index      = fs.Bool("index", false, "append the chunk-index trailer for O(layer) random access and store packing (implies -checksum)")
 		backend    = fs.String("backend", "cabac", "entropy backend: cabac (adaptive arithmetic, default) or rans (interleaved static rANS; implies the v3 container)")
 		metrics    = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
 	)
@@ -149,6 +156,7 @@ func encodeCmd(args []string) {
 	opts.FastSearch = *fastSearch
 	opts.Workers = *workers
 	opts.Checksum = *checksum
+	opts.Index = *index
 	opts.Backend, err = codec.ParseBackend(*backend)
 	if err != nil {
 		fatal(err)

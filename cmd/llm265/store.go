@@ -1,0 +1,107 @@
+// The pack and fetch subcommands: moving .l265 containers in and out of the
+// content-addressed chunk store (DESIGN.md §15).
+//
+//	llm265 pack  -store DIR -model NAME w1.l265 w2.l265 ...
+//	llm265 fetch -store DIR -model NAME -out DIR
+//
+// pack splits each container into content-addressed chunk blobs (tensor
+// names are the file basenames) and writes the model manifest; chunks shared
+// with already-packed models are stored once. fetch reassembles every tensor
+// byte-identically into -out. Both report physical store occupancy so the
+// dedup effect is visible from the command line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func packCmd(args []string) {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	var (
+		dir     = fs.String("store", "", "store root directory (created if missing)")
+		model   = fs.String("model", "", "model name for the manifest")
+		metrics = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
+	)
+	fs.Parse(args)
+	if *dir == "" || *model == "" || fs.NArg() == 0 {
+		fatal(fmt.Errorf("pack requires -store, -model and at least one .l265 file"))
+	}
+	reg, flush := openMetrics(*metrics)
+	s, err := store.Open(*dir, reg)
+	if err != nil {
+		fatal(err)
+	}
+	var entries []store.PackEntry
+	for _, path := range fs.Args() {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		enc, err := core.UnmarshalEncoded(blob)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".l265")
+		entries = append(entries, store.PackEntry{Name: name, Enc: enc})
+	}
+	man, err := s.Pack(*model, entries)
+	if err != nil {
+		fatal(err)
+	}
+	blobs, bytes, err := s.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	flush()
+	fmt.Printf("packed %d tensor(s) (%d container bytes) as %q -> store holds %d unique blob(s), %d bytes\n",
+		len(man.Tensors), man.PackedBytes(), *model, blobs, bytes)
+}
+
+func fetchCmd(args []string) {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	var (
+		dir     = fs.String("store", "", "store root directory")
+		model   = fs.String("model", "", "model name to fetch")
+		out     = fs.String("out", "", "output directory for reassembled .l265 files")
+		metrics = fs.String("metrics", "", "write the observability snapshot as JSON to this file (\"-\" = stdout)")
+	)
+	fs.Parse(args)
+	if *dir == "" || *model == "" || *out == "" {
+		fatal(fmt.Errorf("fetch requires -store, -model and -out"))
+	}
+	reg, flush := openMetrics(*metrics)
+	s, err := store.Open(*dir, reg)
+	if err != nil {
+		fatal(err)
+	}
+	tensors, err := s.Fetch(*model)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	man, err := s.Manifest(*model)
+	if err != nil {
+		fatal(err)
+	}
+	var total int
+	for _, tm := range man.Tensors {
+		enc := tensors[tm.Name]
+		path := filepath.Join(*out, tm.Name+".l265")
+		if err := os.WriteFile(path, enc.Marshal(), 0o644); err != nil {
+			fatal(err)
+		}
+		total += len(enc.Stream)
+	}
+	flush()
+	fmt.Printf("fetched %d tensor(s) of %q (%d container bytes) -> %s\n",
+		len(man.Tensors), *model, total, *out)
+}

@@ -200,7 +200,7 @@ func TestBackendExtensionRequiresV3(t *testing.T) {
 		for i := 0; i < nCtxSlots; i++ {
 			b.WriteByte(128)
 		}
-		b.Write([]byte{0, 0, 0, 1})           // one frame
+		b.Write([]byte{0, 0, 0, 1})               // one frame
 		b.Write([]byte{0, 0, 0, 16, 0, 0, 0, 16}) // 16×16
 		if version == 1 {
 			b.Write([]byte{0, 0, 0, 0}) // empty payload

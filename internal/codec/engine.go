@@ -321,8 +321,23 @@ func EncodeChecksummed(planes []*frame.Plane, qp int, prof Profile, tools Tools,
 
 // encodeChecksummed is the observable core of EncodeChecksummed.
 func encodeChecksummed(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics) ([]byte, Stats, error) {
+	return encodeV3(ctx, planes, qp, prof, tools, workers, m, nil)
+}
+
+// indexSpec asks encodeV3 to append the chunk-index trailer. regions is
+// either nil (the index carries offsets/CRCs only) or one rect per plane.
+type indexSpec struct {
+	regions []PlaneRegion
+}
+
+// encodeV3 emits the hardened container, optionally extended with the
+// chunk-index trailer (idx != nil).
+func encodeV3(ctx context.Context, planes []*frame.Plane, qp int, prof Profile, tools Tools, workers int, m *encMetrics, idx *indexSpec) ([]byte, Stats, error) {
 	if err := validateEncode(planes, qp, prof, tools); err != nil {
 		return nil, Stats{}, err
+	}
+	if idx != nil && idx.regions != nil && len(idx.regions) != len(planes) {
+		return nil, Stats{}, fmt.Errorf("codec: %d index regions for %d planes", len(idx.regions), len(planes))
 	}
 	spans := chunkSpans(planes, tools)
 	payloads, records, recs, err := encodeChunksParallel(ctx, planes, spans, qp, prof, tools, workers, m)
@@ -352,19 +367,42 @@ func encodeChecksummed(ctx context.Context, planes []*frame.Plane, qp int, prof 
 	binary.Write(&head, binary.BigEndian, uint32(len(spans)))
 	total := head.Len() + 4 // + trailing header CRC
 	payloadLen := 0
+	payloadCRCs := make([]uint32, len(spans))
 	for i, s := range spans {
+		payloadCRCs[i] = crc32.Checksum(payloads[i], crcTable)
 		binary.Write(&head, binary.BigEndian, uint32(s[1]-s[0]))
 		binary.Write(&head, binary.BigEndian, uint32(len(payloads[i])))
-		binary.Write(&head, binary.BigEndian, crc32.Checksum(payloads[i], crcTable))
+		binary.Write(&head, binary.BigEndian, payloadCRCs[i])
 		total += 12 + len(payloads[i])
 		payloadLen += len(payloads[i])
 	}
 	binary.Write(&head, binary.BigEndian, crc32.Checksum(head.Bytes(), crcTable))
+	var trailer []byte
+	if idx != nil {
+		// The index restates the chunk table with absolute offsets (plus the
+		// caller's region rects), so a reader can locate any chunk without
+		// walking the payloads — and a store can address them individually.
+		entries := make([]IndexEntry, len(spans))
+		off := int64(head.Len())
+		for i, s := range spans {
+			entries[i] = IndexEntry{
+				Offset:     off,
+				Length:     len(payloads[i]),
+				CRC:        payloadCRCs[i],
+				PlaneBase:  s[0],
+				PlaneCount: s[1] - s[0],
+			}
+			off += int64(len(payloads[i]))
+		}
+		trailer = buildTrailer(entries, idx.regions)
+		total += len(trailer)
+	}
 	out := make([]byte, 0, total)
 	out = append(out, head.Bytes()...)
 	for _, p := range payloads {
 		out = append(out, p...)
 	}
+	out = append(out, trailer...)
 
 	st := statsFromChunks(planes, recs, len(out)*8, len(spans))
 	if m != nil {
@@ -411,6 +449,14 @@ type parsedContainer struct {
 	// ransTab is the shared rANS probability table from the header's backend
 	// extension; non-nil exactly when tools.Backend == BackendRANS.
 	ransTab *[nCtxSlots]uint8
+
+	// payloadBase is the offset of the first payload byte (the header length);
+	// trailerOff is the offset one past the last payload, where the optional
+	// v3 trailer starts — len(data) when there is no trailer. index is the
+	// trailer's chunk index, nil when absent (or damaged, in lenient mode).
+	payloadBase int
+	trailerOff  int
+	index       *ChunkIndex
 }
 
 // parseContainer validates a container of any version down to its chunk
@@ -448,6 +494,8 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 		}
 		payLen := int(binary.BigEndian.Uint32(data[off:]))
 		off += 4
+		pc.payloadBase = off
+		pc.trailerOff = len(data)
 		meta := chunkMeta{dims: dims, planeBase: 0}
 		switch {
 		case payLen < 0:
@@ -522,6 +570,7 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 		off += 4
 	}
 
+	pc.payloadBase = off
 	pc.chunks = make([]chunkMeta, nChunks)
 	base := 0
 	for i := 0; i < nChunks; i++ {
@@ -553,12 +602,36 @@ func parseContainer(data []byte, lenient bool) (*parsedContainer, error) {
 		off += sizes[i]
 		base += counts[i]
 	}
-	if !lenient && off < len(data) {
-		// Exact-length rule (strict mode), mirroring v1: the encoder emits
-		// nothing after the last payload, so trailing bytes mean damaged
-		// framing — e.g. a version byte flipped 3→2 leaves the v3 CRC fields
-		// misparsed into the chunk table and payload bytes dangling.
-		return nil, corruptf("codec: %d trailing bytes after container end", len(data)-off)
+	pc.trailerOff = off
+	if pc.trailerOff > len(data) {
+		pc.trailerOff = len(data) // lenient truncation: payloads ran past the end
+	}
+	if off < len(data) {
+		if version != versionChecksummed {
+			// Exact-length rule, mirroring v1: the v2 encoder emits nothing
+			// after the last payload, so trailing bytes mean damaged framing —
+			// e.g. a version byte flipped 3→2 leaves the v3 CRC fields
+			// misparsed into the chunk table and payload bytes dangling. Only
+			// the v3 container defines a trailer (DESIGN.md §15).
+			if !lenient {
+				return nil, corruptf("codec: %d trailing bytes after container end", len(data)-off)
+			}
+			return pc, nil
+		}
+		idx, _, err := parseTrailer(data, off)
+		if err == nil {
+			err = validateIndex(idx, pc, pc.payloadBase, sizes, crcs, counts)
+		}
+		if err != nil {
+			// Lenient parses treat a damaged trailer as absent: the index is
+			// only an accelerator, and every chunk is still recoverable from
+			// the CRC-verified header table.
+			if !lenient {
+				return nil, err
+			}
+			return pc, nil
+		}
+		pc.index = idx
 	}
 	return pc, nil
 }

@@ -36,7 +36,7 @@ func typedOrNil(t *testing.T, label string, err error) {
 // degenerate shapes) and a FastSearch-encoded stream, so the fuzzer starts
 // from deep coverage rather than rediscovering the header format bit by bit.
 func FuzzDecode(f *testing.F) {
-	v1, v2, v3, _ := corpusStreams(f)
+	v1, v2, v3, corpus := corpusStreams(f)
 	f.Add(v1)
 	f.Add(v2)
 	f.Add(v3)
@@ -44,6 +44,21 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("L265"))
 	// A truncated v3 prefix keeps the fuzzer exploring the chunk table.
 	f.Add(v3[:len(v3)/2])
+	// Indexed containers: the v3 trailer (magic, TLV records, trailer CRC)
+	// is its own parse surface, so seed a whole one, a cut inside the
+	// trailer, and a trailer grafted onto garbage payload bytes.
+	regions := make([]PlaneRegion, len(corpus))
+	for i := range regions {
+		regions[i] = PlaneRegion{Layer: i, W: corpus[i].W, H: corpus[i].H}
+	}
+	indexed, _, err := EncodeIndexed(corpus, 30, HEVC, AllTools, 1, regions)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(indexed)
+	f.Add(indexed[:len(indexed)-trailerCRCLen-1])
+	graft := append(append([]byte(nil), v3...), indexed[len(indexed)-64:]...)
+	f.Add(graft)
 	// The golden conformance corpus: known-good streams across every
 	// profile, container version and awkward shape the encoder ships.
 	goldens, err := filepath.Glob(filepath.Join("testdata", "golden", "*.l265"))

@@ -38,6 +38,13 @@ type PartialResult struct {
 	// Errors lists every failed chunk in container order. Empty means the
 	// stream decoded completely.
 	Errors []ChunkError
+	// Index is the stream's trailer chunk index, when it carries one that
+	// parsed and verified; nil otherwise (no trailer, or a damaged trailer —
+	// lenient parsing drops a damaged index rather than failing the decode).
+	// Callers must treat its Layer/X0/Y0 fields as untrusted until validated
+	// against their own metadata: the codec only cross-checks the index
+	// against the chunk table and plane dims.
+	Index *ChunkIndex
 }
 
 // OK reports whether every chunk decoded.
@@ -85,5 +92,5 @@ func decodePartial(ctx context.Context, data []byte, workers int, m *decMetrics)
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	return &PartialResult{Planes: planes, Chunks: len(pc.chunks), Errors: chunkErrs}, nil
+	return &PartialResult{Planes: planes, Chunks: len(pc.chunks), Errors: chunkErrs, Index: pc.index}, nil
 }

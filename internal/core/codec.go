@@ -55,6 +55,13 @@ type Options struct {
 	// which chunks of a damaged stream are still trustworthy. Off by
 	// default so existing streams stay byte-identical.
 	Checksum bool
+	// Index additionally appends the chunk-index trailer (DESIGN.md §15) to
+	// the v3 container: per-chunk offsets, lengths, CRCs and one tensor-space
+	// region rect per plane. An indexed stream decodes byte-identically
+	// through every existing path, and enables O(region) random access —
+	// DecodeLayer, and chunk-level addressing in the content-addressed store.
+	// Implies Checksum (the trailer is defined only for the v3 container).
+	Index bool
 	// Metrics, when non-nil, collects the whole stack's observability
 	// signals into one registry: per-stage codec encode/decode timings and
 	// bit accounts, worker-pool utilization, the decode-error taxonomy, and
@@ -101,6 +108,10 @@ func (o Options) normalized() Options {
 		// Like FastSearch, the backend rides on the codec-layer carrier
 		// (Tools) so every encode entry point honors it.
 		o.Tools.Backend = o.Backend
+	}
+	if o.Index {
+		// The chunk-index trailer is defined only for the hardened container.
+		o.Checksum = true
 	}
 	return o
 }
@@ -181,11 +192,27 @@ func (o Options) EncodeStackCtx(ctx context.Context, stack []*Tensor, qp int) (*
 		planes = append(planes, frame.FromMatrix(pix, rows, cols, o.MaxFrameW, o.MaxFrameH)...)
 	}
 	quantSpan.End()
-	encode := codec.EncodeParallelCtx
-	if o.Checksum {
-		encode = codec.EncodeChecksummedCtx
+	var stream []byte
+	var st codec.Stats
+	var err error
+	switch {
+	case o.Index:
+		// Thread the tensor-space geometry into the trailer: plane
+		// l*len(regs)+i covers region regs[i] of layer l, matching the
+		// FromMatrix emission order above.
+		regs := enc.regions()
+		pr := make([]codec.PlaneRegion, 0, len(planes))
+		for l := 0; l < enc.Layers; l++ {
+			for _, r := range regs {
+				pr = append(pr, codec.PlaneRegion{Layer: l, X0: r.X0, Y0: r.Y0, W: r.W, H: r.H})
+			}
+		}
+		stream, st, err = codec.EncodeIndexedCtx(ctx, planes, qp, o.Profile, o.Tools, o.Workers, pr, o.Metrics)
+	case o.Checksum:
+		stream, st, err = codec.EncodeChecksummedCtx(ctx, planes, qp, o.Profile, o.Tools, o.Workers, o.Metrics)
+	default:
+		stream, st, err = codec.EncodeParallelCtx(ctx, planes, qp, o.Profile, o.Tools, o.Workers, o.Metrics)
 	}
-	stream, st, err := encode(ctx, planes, qp, o.Profile, o.Tools, o.Workers, o.Metrics)
 	if err != nil {
 		return nil, err
 	}

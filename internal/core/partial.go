@@ -85,6 +85,17 @@ func (o Options) DecodeStackPartialCtx(ctx context.Context, e *Encoded) ([]*Tens
 		o.Metrics.Add("core.decode.errors", 1)
 		return nil, nil, err
 	}
+	// Index-bearing streams: the trailer's region table restates the
+	// plane→(layer, region) mapping. Validate it against the metadata before
+	// attributing anything — the codec trusts only the parts it can check
+	// against the container, so a forged table could otherwise claim planes
+	// for out-of-range layers and turn the slicing below into a panic.
+	if res.Index != nil {
+		if err := e.validateIndexRegions(res.Index.Regions, regs); err != nil {
+			o.Metrics.Add("core.decode.errors", 1)
+			return nil, nil, err
+		}
+	}
 	report := &DecodeReport{
 		Chunks:          res.Chunks,
 		FailedChunks:    len(res.Errors),
@@ -93,11 +104,27 @@ func (o Options) DecodeStackPartialCtx(ctx context.Context, e *Encoded) ([]*Tens
 		ChunkErrors:     res.Errors,
 	}
 	perLayer := len(regs)
+	// Attribution is index-driven when the (validated) region table is
+	// present and positional otherwise; after validation the two mappings
+	// coincide, so damaged-layer reporting is identical either way.
+	layerOf := func(i int) int { return i / perLayer }
+	if res.Index != nil && res.Index.Regions != nil {
+		regions := res.Index.Regions
+		layerOf = func(i int) int { return regions[i].Layer }
+	}
+	byLayer := make([][]*frame.Plane, e.Layers)
+	for i, p := range res.Planes {
+		l := layerOf(i)
+		if byLayer[l] == nil {
+			byLayer[l] = make([]*frame.Plane, perLayer)
+		}
+		byLayer[l][i%perLayer] = p
+	}
 	out := make([]*Tensor, e.Layers)
 	for l := 0; l < e.Layers; l++ {
-		var layerPlanes []*frame.Plane
-		if perLayer > 0 {
-			layerPlanes = res.Planes[l*perLayer : (l+1)*perLayer]
+		layerPlanes := byLayer[l]
+		if layerPlanes == nil {
+			layerPlanes = make([]*frame.Plane, perLayer)
 		}
 		t, missing := e.dequantLayer(l, layerPlanes, regs)
 		out[l] = t

@@ -72,8 +72,8 @@ func queryInt(q url.Values, key string, def int) (int, error) {
 
 // optionsFromQuery maps query parameters onto core.Options — the same knobs
 // the CLI exposes: profile (h264|h265|av1), backend (cabac|rans), checksum,
-// fast-search, per-row, max-frame-w/h. Workers always comes from the server
-// config so one client cannot oversubscribe the pool.
+// index, fast-search, per-row, max-frame-w/h. Workers always comes from the
+// server config so one client cannot oversubscribe the pool.
 func (s *Server) optionsFromQuery(q url.Values) (core.Options, error) {
 	o := core.DefaultOptions()
 	o.Workers = s.cfg.Workers
@@ -93,6 +93,9 @@ func (s *Server) optionsFromQuery(q url.Values) (core.Options, error) {
 		return o, fmt.Errorf("serve: %w", err)
 	}
 	if o.Checksum, err = queryBool(q, "checksum"); err != nil {
+		return o, err
+	}
+	if o.Index, err = queryBool(q, "index"); err != nil {
 		return o, err
 	}
 	if o.FastSearch, err = queryBool(q, "fast-search"); err != nil {
@@ -289,13 +292,22 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// The sniff window is magic + kind byte. A body too short to hold it is
+	// truncation (every valid container is longer), not corruption — the
+	// client should refetch, so it must see 400, never 422 or a misroute.
 	switch {
-	case len(body) >= 6 && string(body[:4]) == "L265" && body[4] == 'T':
+	case len(body) < 5:
+		s.writeError(w, fmt.Errorf("serve: %d-byte body ends inside the container magic: %w",
+			len(body), codec.ErrTruncated))
+	case string(body[:4]) != "L265":
+		s.writeError(w, fmt.Errorf("serve: unrecognized container: %w", codec.ErrCorrupt))
+	case body[4] == 'T':
 		s.decodeCore(w, ctx, body, partial)
-	case len(body) >= 5 && string(body[:4]) == "L265" && body[4] >= 1 && body[4] <= 3:
+	case body[4] >= 1 && body[4] <= 3:
 		s.decodeCodec(w, ctx, body, partial)
 	default:
-		s.writeError(w, fmt.Errorf("serve: unrecognized container: %w", codec.ErrCorrupt))
+		s.writeError(w, fmt.Errorf("serve: unsupported container version %d: %w",
+			body[4], codec.ErrCorrupt))
 	}
 }
 

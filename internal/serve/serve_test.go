@@ -89,6 +89,7 @@ func TestEncodeRoundTripMatchesCore(t *testing.T) {
 		{"h264", "&profile=h264", func(o *core.Options) { o.Profile = codec.H264 }, 1, 48, 64, 30},
 		{"av1", "&profile=av1", func(o *core.Options) { o.Profile = codec.AV1 }, 1, 48, 64, 30},
 		{"checksum", "&checksum=1", func(o *core.Options) { o.Checksum = true }, 3, 48, 64, 28},
+		{"indexed", "&index=1", func(o *core.Options) { o.Index = true }, 2, 48, 64, 28},
 		{"fast-search", "&fast-search=1", func(o *core.Options) { o.FastSearch = true }, 1, 64, 64, 30},
 		{"per-row", "&per-row=1", func(o *core.Options) { o.PerRowQuant = true }, 2, 48, 64, 26},
 		{"rans", "&backend=rans", func(o *core.Options) { o.Backend = codec.BackendRANS }, 2, 48, 64, 28},
@@ -220,7 +221,7 @@ func TestErrorTaxonomyStatuses(t *testing.T) {
 		{"truncated-400", truncated, http.StatusBadRequest, "truncated"},
 		{"corrupt-422", garbage, http.StatusUnprocessableEntity, "corrupt"},
 		{"unrecognized-422", []byte("not a container at all"), http.StatusUnprocessableEntity, "corrupt"},
-		{"empty-422", nil, http.StatusUnprocessableEntity, "corrupt"},
+		{"empty-400", nil, http.StatusBadRequest, "truncated"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -257,6 +258,94 @@ func TestErrorTaxonomyStatuses(t *testing.T) {
 	}
 	if !bytes.Contains(body, []byte("backend")) {
 		t.Errorf("backend=bogus error body %q does not name the parameter", body)
+	}
+}
+
+// TestDecodeSniffTaxonomy pins the /v1/decode container sniff: bodies shorter
+// than the 5-byte sniff window are truncation (400), wrong magic or an
+// impossible kind byte is corruption (422), and indexed v3 containers route
+// to the codec decoder and succeed — never a misroute, never a panic.
+func TestDecodeSniffTaxonomy(t *testing.T) {
+	_, url := newTestServer(t, Config{MaxInflight: 2})
+
+	opts := core.DefaultOptions()
+	opts.Index = true
+	enc, err := opts.EncodeStack(testStack(9, 2, 64, 64), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := enc.Stream
+	wantPlanes, err := codec.DecodeWorkers(indexed, 1)
+	if err != nil {
+		t.Fatalf("indexed stream does not decode directly: %v", err)
+	}
+	lay, err := codec.Layout(indexed)
+	if err != nil || lay.Index == nil {
+		t.Fatalf("test stream carries no index (err=%v)", err)
+	}
+
+	// Damage variants: cut inside the trailer (truncation) and flip a byte in
+	// the trailer body (its CRC32C must catch it).
+	cutTrailer := indexed[:lay.TrailerOff+lay.TrailerLen/2]
+	flipTrailer := append([]byte(nil), indexed...)
+	flipTrailer[lay.TrailerOff+10] ^= 0x01
+	if _, derr := codec.DecodeWorkers(cutTrailer, 1); !errors.Is(derr, codec.ErrTruncated) {
+		t.Fatalf("cut trailer decodes to %v, want ErrTruncated", derr)
+	}
+	if _, derr := codec.DecodeWorkers(flipTrailer, 1); !errors.Is(derr, codec.ErrChecksum) {
+		t.Fatalf("flipped trailer decodes to %v, want ErrChecksum", derr)
+	}
+
+	cases := []struct {
+		name       string
+		query      string
+		body       []byte
+		wantStatus int
+		wantClass  string
+	}{
+		{"empty", "", nil, http.StatusBadRequest, "truncated"},
+		{"one-byte", "", []byte("L"), http.StatusBadRequest, "truncated"},
+		{"magic-only", "", []byte("L265"), http.StatusBadRequest, "truncated"},
+		{"core-magic-only", "", []byte("L265T"), http.StatusBadRequest, "truncated"},
+		{"wrong-magic", "", []byte("X265\x03 payload"), http.StatusUnprocessableEntity, "corrupt"},
+		{"bad-version", "", []byte("L265\x07 payload"), http.StatusUnprocessableEntity, "corrupt"},
+		{"indexed-ok", "", indexed, http.StatusOK, ""},
+		{"indexed-partial-ok", "?partial=1", indexed, http.StatusOK, ""},
+		{"indexed-cut-trailer", "", cutTrailer, http.StatusBadRequest, "truncated"},
+		{"indexed-flipped-trailer", "", flipTrailer, http.StatusConflict, "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := post(t, url+"/v1/decode"+tc.query, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %.120s)", status, tc.wantStatus, body)
+			}
+			if tc.wantStatus == http.StatusOK {
+				if !bytes.Equal(body, marshalPlanes(wantPlanes)) {
+					t.Fatal("indexed decode body differs from direct DecodeWorkers")
+				}
+				return
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("error body is not JSON: %v (%s)", err, body)
+			}
+			if eb.Class != tc.wantClass {
+				t.Errorf("class = %q, want %q", eb.Class, tc.wantClass)
+			}
+		})
+	}
+
+	// A damaged-payload indexed stream under ?partial=1 still recovers: the
+	// index never makes partial decode worse.
+	flipPayload := append([]byte(nil), indexed...)
+	flipPayload[lay.TrailerOff-1] ^= 0xFF
+	status, _, hdr := post(t, url+"/v1/decode?partial=1", flipPayload)
+	if status != http.StatusPartialContent {
+		t.Fatalf("damaged indexed partial = %d, want 206", status)
+	}
+	if hdr.Get("X-Llm265-Failed-Chunks") == "" {
+		t.Error("missing loss accounting on indexed 206")
 	}
 }
 
