@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test store-test
+.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test store-test kv-test
 
 all: build
 
@@ -36,7 +36,7 @@ race:
 # worker, and the intra/dct kernels that now execute inside pooled
 # scratch-arena workers (DESIGN.md §11).
 race-touched:
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/ ./internal/intra/ ./internal/dct/ ./internal/serve/
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/obs/ ./internal/intra/ ./internal/dct/ ./internal/serve/ ./internal/kv/
 
 # The serve harness under the race detector: the integration suite, the
 # error-taxonomy table, the deadline/backpressure/drain tests and the
@@ -63,6 +63,18 @@ proxy-test:
 store-test:
 	$(GO) test -race ./internal/store/ ./internal/llm/
 
+# The KV-cache tier under the race detector: flush-counter and aliasing unit
+# tests, the schedule-invariance and aliased-twin property matrices (both
+# entropy backends × worker counts), the HTTP handler taxonomy, and the
+# full-scale soak — KV_SOAK=1 raises it to ≥2,000 concurrent sessions of
+# interleaved append/read/expire churn under a tight byte budget, asserting
+# zero corrupt reads, resident≤budget at every sample, 206 windows
+# consistent with the eviction log, and a leak-free drain (DESIGN.md §16).
+kv-test:
+	KV_SOAK=1 $(GO) test -race ./internal/kv/ -timeout 30m
+
+ci: build vet test serve-test proxy-test store-test kv-test race fuzz-smoke bench-guard
+
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
 # starts at deep coverage; any input that panics or produces an untyped
@@ -72,8 +84,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeStack -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
-
-ci: build vet test serve-test proxy-test store-test race fuzz-smoke bench-guard
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzKVRequest -fuzztime $(FUZZTIME)
 
 # The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
 # deterministic synthetic stack with full metrics and writes a
@@ -94,7 +105,7 @@ bench-guard:
 # Regenerate the bench-guard baseline. Run on a quiet machine and commit the
 # result; keep the geometry small enough for CI to repeat cheaply.
 bench-baseline:
-	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -store -name baseline -out BENCH_baseline.json
+	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -store -kv -name baseline -out BENCH_baseline.json
 
 # One pass over every paper-artifact micro-benchmark (testing.B).
 bench-micro:

@@ -54,6 +54,9 @@ type benchConfig struct {
 	// StoreBench records that the run exercised the content-addressed store
 	// section (pack/fetch dedup, O(region) decode, LRU serving).
 	StoreBench bool `json:"store_bench,omitempty"`
+	// KVBench records that the run exercised the streaming KV-cache tier
+	// section (incremental append, ranged reads, aliasing, eviction).
+	KVBench bool `json:"kv_bench,omitempty"`
 }
 
 type benchResults struct {
@@ -97,6 +100,10 @@ type benchResults struct {
 	// region-decode chunk counts and speedup, LRU residency) when the run was
 	// invoked with -store.
 	Store *storeBenchResults `json:"store,omitempty"`
+	// KV carries the streaming KV-cache tier benchmark (incremental chunk
+	// accounting, prefix-aliasing savings, read latency, eviction under
+	// budget) when the run was invoked with -kv.
+	KV *kvBenchResults `json:"kv,omitempty"`
 }
 
 // backendBenchResults compares the two entropy backends on the same stack at
@@ -144,6 +151,7 @@ func benchCmd(args []string) {
 		proxyMode    = fs.Bool("proxy", false, "also benchmark the sharding proxy in-process: direct vs proxied req/s and degraded-fleet p99")
 		proxyBacks   = fs.Int("proxy-backends", 3, "fleet size for -proxy")
 		storeMode    = fs.Bool("store", false, "also benchmark the content-addressed store: pack/fetch dedup, O(region) layer decode, LRU serving under a byte budget")
+		kvMode       = fs.Bool("kv", false, "also benchmark the streaming KV-cache tier: incremental append, ranged reads, prefix aliasing, budgeted eviction")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -184,6 +192,8 @@ func benchCmd(args []string) {
 		}
 		// And a baseline with a store section.
 		*storeMode = c.StoreBench
+		// And a baseline with a kv section.
+		*kvMode = c.KVBench
 	}
 
 	stack := syntheticStack(*layers, *rows, *cols, *seed)
@@ -261,6 +271,14 @@ func benchCmd(args []string) {
 		}
 	}
 
+	var kvRes *kvBenchResults
+	if *kvMode {
+		kvRes, err = runKVBench(*qp, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	// The backend comparison likewise runs after the engine measurement, on
 	// its own uninstrumented options, so the headline metrics snapshot stays a
 	// pure record of the main workload.
@@ -298,6 +316,7 @@ func benchCmd(args []string) {
 		}
 	}
 	rep.Config.StoreBench = *storeMode
+	rep.Config.KVBench = *kvMode
 	rep.Results = benchResults{
 		EncodeWallNs:     int64(encWall),
 		DecodeWallNs:     int64(decWall),
@@ -338,6 +357,7 @@ func benchCmd(args []string) {
 		Proxy:    proxyRes,
 		Backends: backendRes,
 		Store:    storeRes,
+		KV:       kvRes,
 	}
 	rep.Metrics = snap
 
@@ -578,6 +598,43 @@ func guardAgainstBaseline(base, cur *benchReport) {
 			c.Store.RegionSpeedup >= guardSpeedFactor*b.Store.RegionSpeedup,
 			"region-decode speedup %.2fx, baseline %.2fx",
 			c.Store.RegionSpeedup, b.Store.RegionSpeedup)
+	}
+
+	// KV bands: chunk accounting, aliasing savings and eviction byte counts
+	// are deterministic for a given config and pinned exactly; the
+	// incremental-encode identity (encoded + aliased == committed groups),
+	// the aliasing accuracy bound and the resident≤budget bound are always
+	// enforced; append throughput and read p99 are timing-gated.
+	if b.KV != nil && c.KV != nil {
+		totalGroups := int64(c.KV.Sessions * c.KV.RowsPerSession / c.KV.FlushRows)
+		check(true, c.KV.ChunksEncoded+c.KV.ChunksAliased == totalGroups,
+			"kv %d encoded + %d aliased chunks, want %d groups (a group was re-encoded or lost)",
+			c.KV.ChunksEncoded, c.KV.ChunksAliased, totalGroups)
+		check(true, c.KV.AccuracyDelta == 0,
+			"kv aliased read drifted from unaliased by %g (want exact)", c.KV.AccuracyDelta)
+		check(true, c.KV.EvictResidentBytes <= c.KV.EvictBudgetBytes,
+			"kv resident %d bytes exceeds budget %d", c.KV.EvictResidentBytes, c.KV.EvictBudgetBytes)
+		check(true, c.KV.ChunksEncoded == b.KV.ChunksEncoded &&
+			c.KV.ChunksAliased == b.KV.ChunksAliased,
+			"kv chunks encoded=%d aliased=%d, baseline %d/%d (incremental accounting drifted)",
+			c.KV.ChunksEncoded, c.KV.ChunksAliased, b.KV.ChunksEncoded, b.KV.ChunksAliased)
+		check(true, c.KV.ResidentBytes == b.KV.ResidentBytes &&
+			c.KV.PrefixSavedBytes == b.KV.PrefixSavedBytes,
+			"kv resident %d / prefix-saved %d bytes, baseline %d / %d (layout drifted)",
+			c.KV.ResidentBytes, c.KV.PrefixSavedBytes, b.KV.ResidentBytes, b.KV.PrefixSavedBytes)
+		check(true, c.KV.ResidentBytes == c.KV.UnaliasedResidentBytes,
+			"kv resident %d with aliasing vs %d without (content-addressed dedup broke)",
+			c.KV.ResidentBytes, c.KV.UnaliasedResidentBytes)
+		check(true, c.KV.PrefixSavedBytes > 0,
+			"kv prefix aliasing saved %d bytes (want >0: sessions share a prefix)", c.KV.PrefixSavedBytes)
+		check(true, c.KV.EvictedChunks > 0,
+			"kv eviction phase evicted %d chunks (want >0 under a 60%% budget)", c.KV.EvictedChunks)
+		check(timingEnforced, c.KV.AppendMBps >= guardSpeedFactor*b.KV.AppendMBps,
+			"kv append %.2f MB/s, baseline %.2f MB/s", c.KV.AppendMBps, b.KV.AppendMBps)
+		check(timingEnforced, b.KV.ReadP99Ns == 0 ||
+			float64(c.KV.ReadP99Ns) <= float64(b.KV.ReadP99Ns)/guardSpeedFactor,
+			"kv read p99 %.2fms, baseline %.2fms",
+			float64(c.KV.ReadP99Ns)/1e6, float64(b.KV.ReadP99Ns)/1e6)
 	}
 
 	if failures > 0 {

@@ -1,0 +1,218 @@
+// The -kv bench section: the sessionized streaming KV-cache tier
+// (DESIGN.md §16) measured on a deterministic multi-session workload.
+//
+// The section streams ragged appends into a fleet of sessions that share a
+// common prompt prefix, so the numbers cover the three properties the tier
+// exists for: incremental encode (every committed flush group is encoded
+// exactly once, counted, never re-encoded on later appends), prefix-hash
+// aliasing (a shared prefix chunk is adopted from its donor without being
+// re-encoded; kv.prefix.saved_bytes counts the adopted payload bytes, and
+// an aliasing-disabled table with identical content cross-checks that
+// aliasing changes no value — byte residency is equal either way, because
+// the blob store is content-addressed in both), and byte-budgeted LRU
+// eviction (the same load replayed under a 60% budget, with eviction
+// counters and the resident≤budget bound recorded). Chunk and byte counts
+// are deterministic for a given config and are pinned exactly by
+// bench-guard; append throughput and read latency are timing and banded.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/obs"
+)
+
+// kvBenchResults is the "kv" section of the bench report.
+type kvBenchResults struct {
+	Sessions       int `json:"sessions"`
+	RowsPerSession int `json:"rows_per_session"`
+	Dim            int `json:"dim"`
+	FlushRows      int `json:"flush_rows"`
+	// Incremental encode accounting: encoded + aliased must equal the total
+	// committed flush groups — each group costs exactly one encode or one
+	// alias, no matter how raggedly it arrived.
+	AppendedTokens int64 `json:"appended_tokens"`
+	ChunksEncoded  int64 `json:"chunks_encoded"`
+	ChunksAliased  int64 `json:"chunks_aliased"`
+	// Prefix reuse: PrefixSavedBytes counts chunk payloads adopted by alias
+	// instead of encoded. The two resident figures are equal by design —
+	// content-addressed blobs dedup bytes with aliasing on or off — and the
+	// equality is pinned; aliasing buys skipped encodes, not skipped bytes.
+	ResidentBytes          int64 `json:"resident_bytes"`
+	UnaliasedResidentBytes int64 `json:"unaliased_resident_bytes"`
+	PrefixSavedBytes       int64 `json:"prefix_saved_bytes"`
+	// AccuracyDelta is the largest |aliased − unaliased| over a full session
+	// read; the tables hold identical content, so any nonzero value means
+	// aliasing cost bits it is not allowed to cost.
+	AccuracyDelta float64 `json:"accuracy_delta"`
+	// Timing (advisory on 1-CPU machines, banded otherwise).
+	AppendNs   int64   `json:"append_ns"`
+	AppendMBps float64 `json:"append_mbps"` // raw float32 bytes through Append
+	ReadP50Ns  int64   `json:"read_p50_ns"` // from kv.read.latency_ns
+	ReadP99Ns  int64   `json:"read_p99_ns"`
+	// Eviction under a 60% byte budget: same load, smaller roof.
+	EvictBudgetBytes   int64 `json:"evict_budget_bytes"`
+	EvictedChunks      int64 `json:"evicted_chunks"`
+	EvictedSessions    int64 `json:"evicted_sessions"`
+	BudgetRejects      int64 `json:"budget_rejects"`
+	EvictResidentBytes int64 `json:"evict_resident_bytes"`
+	ReadsPartial       int64 `json:"reads_partial"` // 206-shaped reads under eviction
+}
+
+// kvBenchRows builds one deterministic row batch: token rows [at, at+rows)
+// of width dim, seeded so shared prefixes are bit-identical across sessions.
+func kvBenchRows(seed int64, at, rows, dim int) []float32 {
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(at)))
+	out := make([]float32, rows*dim)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+// kvBenchLoad streams the workload into tab: every session gets the shared
+// prefix (prefixRows, seed 42) then its own divergent suffix, appended in
+// ragged batches. Returns the raw bytes appended.
+func kvBenchLoad(tab *kv.Table, sessions, rowsPer, prefixRows, dim int) (int64, error) {
+	ctx := context.Background()
+	var raw int64
+	for s := 0; s < sessions; s++ {
+		rng := rand.New(rand.NewSource(int64(9000 + s)))
+		at := 0
+		for at < rowsPer {
+			k := 1 + rng.Intn(7)
+			if at+k > rowsPer {
+				k = rowsPer - at
+			}
+			batch := make([]float32, 0, k*dim)
+			for r := at; r < at+k; r++ {
+				if r < prefixRows {
+					batch = append(batch, kvBenchRows(42, r, 1, dim)...)
+				} else {
+					batch = append(batch, kvBenchRows(int64(100+s), r, 1, dim)...)
+				}
+			}
+			if _, err := tab.Append(ctx, fmt.Sprintf("s%02d", s), dim, at, batch); err != nil {
+				return raw, fmt.Errorf("kv bench append s%02d@%d: %w", s, at, err)
+			}
+			raw += int64(len(batch)) * 4
+			at += k
+		}
+	}
+	return raw, nil
+}
+
+// runKVBench measures the kv tier on its own fixed geometry (the engine
+// flags size tensors, not token streams; only qp and workers carry over).
+func runKVBench(qp, workers int) (*kvBenchResults, error) {
+	const (
+		sessions   = 24
+		rowsPer    = 64 // 4 flush groups
+		dim        = 64
+		flushRows  = 16
+		prefixRows = 2 * flushRows // groups shared by every session
+	)
+	if workers <= 0 {
+		workers = 1
+	}
+	res := &kvBenchResults{
+		Sessions: sessions, RowsPerSession: rowsPer, Dim: dim, FlushRows: flushRows,
+	}
+
+	// Phase 1: aliased table, timed.
+	reg := obs.NewRegistry()
+	tab := kv.New(kv.Config{FlushRows: flushRows, QP: qp, Workers: workers, Metrics: reg})
+	start := time.Now()
+	raw, err := kvBenchLoad(tab, sessions, rowsPer, prefixRows, dim)
+	if err != nil {
+		return nil, err
+	}
+	res.AppendNs = int64(time.Since(start))
+	res.AppendMBps = float64(raw) / 1e6 / time.Since(start).Seconds()
+	res.ResidentBytes = tab.Resident()
+
+	// Ranged reads: every session, a sweep of windows crossing chunk
+	// boundaries, so read_p50/p99 cover indexed partial decode + tail splice.
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < sessions; s++ {
+		name := fmt.Sprintf("s%02d", s)
+		for i := 0; i < 4; i++ {
+			t0 := rng.Intn(rowsPer - 1)
+			t1 := t0 + 1 + rng.Intn(rowsPer-t0)
+			if _, err := tab.Read(ctx, name, t0, t1); err != nil {
+				return nil, fmt.Errorf("kv bench read %s[%d,%d): %w", name, t0, t1, err)
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	res.AppendedTokens = snap.Counters["kv.append.tokens"]
+	res.ChunksEncoded = snap.Counters["kv.append.chunks_encoded"]
+	res.ChunksAliased = snap.Counters["kv.append.chunks_aliased"]
+	res.PrefixSavedBytes = snap.Counters["kv.prefix.saved_bytes"]
+	res.ReadP50Ns = snap.Histograms["kv.read.latency_ns"].P50
+	res.ReadP99Ns = snap.Histograms["kv.read.latency_ns"].P99
+	totalGroups := int64(sessions * (rowsPer / flushRows))
+	if res.ChunksEncoded+res.ChunksAliased != totalGroups {
+		return nil, fmt.Errorf("kv bench: %d encoded + %d aliased chunks, want %d total (a group was re-encoded or lost)",
+			res.ChunksEncoded, res.ChunksAliased, totalGroups)
+	}
+
+	// Phase 2: identical content, aliasing off — the accuracy cross-check
+	// (aliasing must not change a single value) and the residency-equality
+	// pin (the blob layer dedupes content-addressed bytes either way).
+	plain := kv.New(kv.Config{FlushRows: flushRows, QP: qp, Workers: workers, DisableAliasing: true})
+	if _, err := kvBenchLoad(plain, sessions, rowsPer, prefixRows, dim); err != nil {
+		return nil, err
+	}
+	res.UnaliasedResidentBytes = plain.Resident()
+	a, err := tab.Read(ctx, "s00", 0, rowsPer)
+	if err != nil {
+		return nil, err
+	}
+	b, err := plain.Read(ctx, "s00", 0, rowsPer)
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.Vals {
+		if d := math.Abs(float64(a.Vals[i]) - float64(b.Vals[i])); d > res.AccuracyDelta {
+			res.AccuracyDelta = d
+		}
+	}
+
+	// Phase 3: the same load under a 60% budget — eviction does the fitting.
+	res.EvictBudgetBytes = res.ResidentBytes * 6 / 10
+	evReg := obs.NewRegistry()
+	evTab := kv.New(kv.Config{
+		FlushRows: flushRows, QP: qp, Workers: workers,
+		BudgetBytes: res.EvictBudgetBytes, Metrics: evReg,
+	})
+	if _, err := kvBenchLoad(evTab, sessions, rowsPer, prefixRows, dim); err != nil {
+		return nil, err
+	}
+	// Read every surviving session in full; evicted prefixes answer as
+	// partial windows (the HTTP 206 shape), counted not failed.
+	for s := 0; s < sessions; s++ {
+		if _, err := evTab.Read(ctx, fmt.Sprintf("s%02d", s), 0, -1); err != nil &&
+			!errors.Is(err, kv.ErrNotFound) && !errors.Is(err, kv.ErrRangeUnavailable) {
+			return nil, fmt.Errorf("kv bench evicted read s%02d: %w", s, err)
+		}
+	}
+	evSnap := evReg.Snapshot()
+	res.EvictedChunks = evSnap.Counters["kv.evict.chunks"]
+	res.EvictedSessions = evSnap.Counters["kv.evict.sessions"]
+	res.BudgetRejects = evSnap.Counters["kv.reject.budget"]
+	res.ReadsPartial = evSnap.Counters["kv.read.partial"]
+	res.EvictResidentBytes = evTab.Resident()
+	if res.EvictResidentBytes > res.EvictBudgetBytes {
+		return nil, fmt.Errorf("kv bench: resident %d exceeds budget %d after load",
+			res.EvictResidentBytes, res.EvictBudgetBytes)
+	}
+	return res, nil
+}

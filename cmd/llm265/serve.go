@@ -3,7 +3,8 @@
 //
 //	llm265 serve -addr :8265 -workers 8 -max-inflight 4 -deadline 2s
 //
-// Endpoints: POST /v1/encode, POST /v1/decode, GET /healthz, GET /metricsz.
+// Endpoints: POST /v1/encode, POST /v1/decode, PUT/GET/DELETE
+// /v1/kv/{session}, GET /healthz, GET /metricsz.
 // SIGTERM or SIGINT starts a graceful drain: the listener stops accepting,
 // /healthz flips to 503, inflight requests run to completion (bounded by
 // -drain-timeout), then the process exits 0.
@@ -34,16 +35,24 @@ func serveCmd(args []string) {
 		deadline     = fs.Duration("deadline", 0, "per-request compute budget (0 = none; clients can tighten with ?deadline_ms)")
 		maxBody      = fs.Int64("max-body", 1<<30, "request body cap in bytes (413 beyond)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for inflight requests")
+		kvBudget     = fs.Int64("kv-budget", 256<<20, "KV-cache tier resident byte budget (eviction fits it; 507 when an append can never fit)")
+		kvTTL        = fs.Duration("kv-ttl", 15*time.Minute, "KV session idle TTL (negative = no expiry)")
+		kvFlushRows  = fs.Int("kv-flush-rows", 0, "KV token rows per compressed chunk (0 = default 32)")
+		kvQP         = fs.Int("kv-qp", 12, "KV chunk quantization parameter")
 	)
 	fs.Parse(args)
 
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		MaxInflight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		Deadline:     *deadline,
-		MaxBodyBytes: *maxBody,
-		Metrics:      obs.NewRegistry(),
+		Workers:       *workers,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
+		Deadline:      *deadline,
+		MaxBodyBytes:  *maxBody,
+		Metrics:       obs.NewRegistry(),
+		KVBudgetBytes: *kvBudget,
+		KVTTL:         *kvTTL,
+		KVFlushRows:   *kvFlushRows,
+		KVQP:          *kvQP,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,263 @@
+// Incremental container growth for streaming sessions (DESIGN.md §16).
+//
+// The one-shot encoders are pure functions: planes in, container out. A
+// streaming KV cache needs the opposite shape — a container that grows as
+// token rows arrive, without ever re-encoding (or even re-touching) the
+// bytes already committed. Appender is that object:
+//
+//   - Each Append call encodes its planes as one chunk per plane, bypassing
+//     chunkSpans' pixel-count batching. Chunk boundaries are therefore a
+//     pure function of the flush schedule's row granularity, never of how
+//     many planes happened to arrive in one call — which is what makes a
+//     chunk's payload bytes content-addressable across sessions that share
+//     a prefix but not an arrival pattern.
+//   - Committed chunks are immutable. Append only appends; the
+//     codec.encode.chunks counter advances by exactly the number of planes
+//     in the call, which is how the kv tier's tests prove the no-re-encode
+//     invariant.
+//   - Snapshot(first, count) re-frames any live chunk range into a
+//     standalone hardened v3 container with a chunk-index trailer, built
+//     from the stored payloads alone (writeHeaderDims): no entropy work, no
+//     plane data. The snapshot decodes byte-identically to the same crop of
+//     a one-shot encode (append_test.go proves it across backends).
+//   - DropPlanes releases the payload prefix under eviction pressure;
+//     Snapshot refuses ranges that reach into the dropped prefix.
+//
+// rANS and the frozen table: the shared probability table of a one-shot
+// container is built from every chunk's bin statistics, which an incremental
+// encoder cannot know. Appender freezes the table from the *first* chunk it
+// encodes and assembles every later chunk against it. Entropy efficiency
+// degrades marginally (the table is an estimate, not the aggregate), but
+// reconstructions are untouched — the table only reweights the lossless
+// entropy stage — and the container stays schedule-independent. An aliased
+// session adopts its donor's table via SetTable before the first append, so
+// shared-prefix payload bytes stay byte-identical.
+//
+// Appender is not safe for concurrent use; the kv session lock serializes it.
+package codec
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/frame"
+	"repro/internal/obs"
+)
+
+// appendChunk is one committed chunk: a single plane's payload and CRC.
+// A dropped (evicted) chunk keeps its table entry with a nil payload.
+type appendChunk struct {
+	payload []byte
+	crc     uint32
+}
+
+// Appender accumulates an append-only sequence of single-plane chunks and
+// serves indexed v3 snapshot containers over any live range of them.
+type Appender struct {
+	qp      int
+	prof    Profile
+	tools   Tools
+	workers int
+	m       *encMetrics
+
+	dims    [][2]int
+	chunks  []appendChunk
+	regions []PlaneRegion
+	ransTab *[nCtxSlots]uint8
+
+	dropped      int   // planes [0, dropped) have released payloads
+	payloadBytes int64 // live (non-dropped) payload bytes
+}
+
+// NewAppender creates an empty incremental container with the given coding
+// parameters. Parameter validation happens on the first Append (it needs
+// planes); workers <= 0 selects GOMAXPROCS as everywhere in the engine.
+func NewAppender(qp int, prof Profile, tools Tools, workers int, reg *obs.Registry) *Appender {
+	return &Appender{qp: qp, prof: prof, tools: tools, workers: workers, m: newEncMetrics(reg)}
+}
+
+// Planes returns the number of committed planes (chunks), dropped included.
+func (a *Appender) Planes() int { return len(a.dims) }
+
+// DroppedPlanes returns how many leading planes have been dropped.
+func (a *Appender) DroppedPlanes() int { return a.dropped }
+
+// PayloadBytes returns the resident compressed bytes (live payloads only).
+func (a *Appender) PayloadBytes() int64 { return a.payloadBytes }
+
+// Table returns a copy of the frozen rANS probability table, or nil when no
+// table exists yet (CABAC backend, or no chunk encoded and none adopted).
+func (a *Appender) Table() []uint8 {
+	if a.ransTab == nil {
+		return nil
+	}
+	t := make([]uint8, nCtxSlots)
+	copy(t, a.ransTab[:])
+	return t
+}
+
+// SetTable adopts a donor session's frozen rANS table. Legal only on the
+// rANS backend, before any table exists; adopting the exact same table again
+// is a no-op.
+func (a *Appender) SetTable(tab []uint8) error {
+	if a.tools.Backend != BackendRANS {
+		return fmt.Errorf("codec: appender backend has no probability table")
+	}
+	if len(tab) != nCtxSlots {
+		return fmt.Errorf("codec: probability table has %d slots, want %d", len(tab), nCtxSlots)
+	}
+	if a.ransTab != nil {
+		if !bytes.Equal(a.ransTab[:], tab) {
+			return fmt.Errorf("codec: appender table already frozen to a different table")
+		}
+		return nil
+	}
+	var t [nCtxSlots]uint8
+	copy(t[:], tab)
+	a.ransTab = &t
+	return nil
+}
+
+// Append encodes planes as one immutable chunk each and commits them. It
+// returns the per-plane payload bytes (for content addressing) and the
+// encode Stats of just this call. regions must carry exactly one
+// tensor-space rect per plane; rects are stored in the snapshot trailers
+// verbatim. On error nothing is committed.
+func (a *Appender) Append(ctx context.Context, planes []*frame.Plane, regions []PlaneRegion) ([][]byte, Stats, error) {
+	if err := validateEncode(planes, a.qp, a.prof, a.tools); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(regions) != len(planes) {
+		return nil, Stats{}, fmt.Errorf("codec: %d append regions for %d planes", len(regions), len(planes))
+	}
+	for i, r := range regions {
+		if r.W != planes[i].W || r.H != planes[i].H || r.Layer < 0 || r.X0 < 0 || r.Y0 < 0 {
+			return nil, Stats{}, fmt.Errorf("codec: append region %d does not frame its %dx%d plane", i, planes[i].W, planes[i].H)
+		}
+	}
+	spans := make([][2]int, len(planes))
+	for i := range planes {
+		spans[i] = [2]int{i, i + 1}
+	}
+	payloads, records, recs, err := encodeChunksParallel(ctx, planes, spans, a.qp, a.prof, a.tools, a.workers, a.m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if a.tools.Backend == BackendRANS {
+		if a.ransTab == nil {
+			// Freeze from the first chunk only — not this call's aggregate —
+			// so the table (and every payload after it) is independent of how
+			// many planes the first call happened to carry.
+			tab := buildRansTable(records[:1])
+			a.ransTab = &tab
+		}
+		for i, r := range records {
+			payloads[i] = r.assemble(a.ransTab)
+		}
+	}
+	payloadLen := 0
+	for i, p := range payloads {
+		a.dims = append(a.dims, [2]int{planes[i].W, planes[i].H})
+		a.chunks = append(a.chunks, appendChunk{payload: p, crc: crc32.Checksum(p, crcTable)})
+		a.regions = append(a.regions, regions[i])
+		a.payloadBytes += int64(len(p))
+		payloadLen += len(p)
+	}
+	st := statsFromChunks(planes, recs, payloadLen*8, len(spans))
+	if a.m != nil {
+		a.m.recordEncodeTotals(st, payloadLen, payloadLen, len(planes))
+	}
+	return payloads, st, nil
+}
+
+// AppendEncoded commits an already-encoded single-plane chunk — the
+// prefix-aliasing fast path: a session whose next flush group hashes to a
+// chunk some donor session already encoded adopts the donor's payload bytes
+// without running the encoder (and so without advancing encode counters).
+// On the rANS backend the appender must already hold the donor's table
+// (SetTable), since payload bits are only decodable against it.
+func (a *Appender) AppendEncoded(payload []byte, w, h int, region PlaneRegion) error {
+	if w <= 0 || h <= 0 || w > a.prof.MaxFrameDim || h > a.prof.MaxFrameDim {
+		return fmt.Errorf("codec: aliased chunk dims %dx%d out of range", w, h)
+	}
+	if region.W != w || region.H != h || region.Layer < 0 || region.X0 < 0 || region.Y0 < 0 {
+		return fmt.Errorf("codec: aliased chunk region does not frame its %dx%d plane", w, h)
+	}
+	if a.tools.Backend == BackendRANS && a.ransTab == nil {
+		return fmt.Errorf("codec: aliased rANS chunk before table adoption")
+	}
+	a.dims = append(a.dims, [2]int{w, h})
+	a.chunks = append(a.chunks, appendChunk{payload: payload, crc: crc32.Checksum(payload, crcTable)})
+	a.regions = append(a.regions, region)
+	a.payloadBytes += int64(len(payload))
+	return nil
+}
+
+// DropPlanes releases the payloads of planes [DroppedPlanes(), upto) and
+// returns the bytes freed. Chunk-table entries stay (the container's plane
+// numbering is append-only); Snapshot simply refuses dropped ranges.
+func (a *Appender) DropPlanes(upto int) int64 {
+	if upto > len(a.dims) {
+		upto = len(a.dims)
+	}
+	var freed int64
+	for i := a.dropped; i < upto; i++ {
+		freed += int64(len(a.chunks[i].payload))
+		a.chunks[i].payload = nil
+	}
+	if upto > a.dropped {
+		a.dropped = upto
+	}
+	a.payloadBytes -= freed
+	return freed
+}
+
+// Snapshot re-frames planes [first, first+count) into a standalone hardened
+// v3 container with a chunk-index trailer, without touching the entropy
+// layer: stored payloads are copied under a freshly framed header whose
+// plane numbering starts at zero. Trailer regions keep their absolute
+// tensor-space rects, so a reader still knows which token rows plane i
+// carries. The range must be live: within [DroppedPlanes(), Planes()).
+func (a *Appender) Snapshot(first, count int) ([]byte, error) {
+	if first < a.dropped || count <= 0 || first+count > len(a.dims) {
+		return nil, fmt.Errorf("codec: snapshot planes [%d,%d) outside live range [%d,%d)",
+			first, first+count, a.dropped, len(a.dims))
+	}
+	dims := a.dims[first : first+count]
+	var head bytes.Buffer
+	writeHeaderDims(&head, versionChecksummed, dims, a.qp, a.prof, a.tools, a.ransTab)
+	binary.Write(&head, binary.BigEndian, uint32(count))
+	total := head.Len() + 12*count + 4
+	payloadLen := 0
+	for i := first; i < first+count; i++ {
+		c := &a.chunks[i]
+		binary.Write(&head, binary.BigEndian, uint32(1)) // planeCount
+		binary.Write(&head, binary.BigEndian, uint32(len(c.payload)))
+		binary.Write(&head, binary.BigEndian, c.crc)
+		payloadLen += len(c.payload)
+	}
+	binary.Write(&head, binary.BigEndian, crc32.Checksum(head.Bytes(), crcTable))
+	entries := make([]IndexEntry, count)
+	off := int64(head.Len())
+	for i := 0; i < count; i++ {
+		entries[i] = IndexEntry{
+			Offset:     off,
+			Length:     len(a.chunks[first+i].payload),
+			CRC:        a.chunks[first+i].crc,
+			PlaneBase:  i,
+			PlaneCount: 1,
+		}
+		off += int64(entries[i].Length)
+	}
+	trailer := buildTrailer(entries, a.regions[first:first+count])
+	out := make([]byte, 0, total+payloadLen+len(trailer))
+	out = append(out, head.Bytes()...)
+	for i := first; i < first+count; i++ {
+		out = append(out, a.chunks[i].payload...)
+	}
+	out = append(out, trailer...)
+	return out, nil
+}

@@ -225,6 +225,17 @@ func firstErr(errs []error) error {
 // ransTab must be non-nil exactly then. CABAC headers are byte-identical to
 // the historical layout.
 func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, qp int, prof Profile, tools Tools, ransTab *[nCtxSlots]uint8) {
+	dims := make([][2]int, len(planes))
+	for i, p := range planes {
+		dims[i] = [2]int{p.W, p.H}
+	}
+	writeHeaderDims(head, version, dims, qp, prof, tools, ransTab)
+}
+
+// writeHeaderDims is writeCommonHeader on bare dimensions — the shape the
+// incremental Appender has when it re-frames already-encoded chunks into a
+// snapshot container without holding the source planes.
+func writeHeaderDims(head *bytes.Buffer, version byte, dims [][2]int, qp int, prof Profile, tools Tools, ransTab *[nCtxSlots]uint8) {
 	head.Write(magic[:])
 	head.WriteByte(version)
 	head.WriteByte(prof.id())
@@ -235,10 +246,10 @@ func writeCommonHeader(head *bytes.Buffer, version byte, planes []*frame.Plane, 
 		head.WriteByte(nCtxSlots)
 		head.Write(ransTab[:])
 	}
-	binary.Write(head, binary.BigEndian, uint32(len(planes)))
-	for _, p := range planes {
-		binary.Write(head, binary.BigEndian, uint32(p.W))
-		binary.Write(head, binary.BigEndian, uint32(p.H))
+	binary.Write(head, binary.BigEndian, uint32(len(dims)))
+	for _, d := range dims {
+		binary.Write(head, binary.BigEndian, uint32(d[0]))
+		binary.Write(head, binary.BigEndian, uint32(d[1]))
 	}
 }
 

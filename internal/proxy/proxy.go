@@ -1,6 +1,8 @@
 // Package proxy is the fleet layer of the codec service (DESIGN.md §14):
-// `llm265 proxy` shards /v1/encode and /v1/decode traffic over N backend
-// `llm265 serve` instances by consistent hashing, and makes the fleet robust
+// `llm265 proxy` shards /v1/encode, /v1/decode and /v1/kv/{session}
+// traffic over N backend `llm265 serve` instances by consistent hashing
+// (codec requests by content/key, kv requests by session for stateful
+// affinity), and makes the fleet robust
 // the way the container format is robust — by assuming every component
 // fails and proving the failure behavior:
 //
@@ -42,6 +44,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -207,7 +210,9 @@ func (b *backend) available() bool {
 // proxyMetrics holds the proxy-level metric handles:
 //
 //	proxy.encode.requests / proxy.decode.requests           counters
+//	proxy.kv.requests                                       counter
 //	proxy.encode.latency_ns / proxy.decode.latency_ns       histograms
+//	proxy.kv.latency_ns                                     histogram
 //	proxy.upstream.decode.latency_ns                        histogram (hedge p99 source)
 //	proxy.retries / proxy.hedges / proxy.hedge_wins         counters
 //	proxy.shed / proxy.errors.upstream                      counters
@@ -216,7 +221,9 @@ func (b *backend) available() bool {
 //	proxy.backend.<host:port>.{state,latency_ns,requests,failures}
 type proxyMetrics struct {
 	encReq, decReq         *obs.Counter
+	kvReq                  *obs.Counter
 	encLatency, decLatency *obs.Histogram
+	kvLatency              *obs.Histogram
 	decUpstream            *obs.Histogram
 	retries, hedges        *obs.Counter
 	hedgeWins, shed        *obs.Counter
@@ -229,8 +236,10 @@ func newProxyMetrics(reg *obs.Registry) proxyMetrics {
 	return proxyMetrics{
 		encReq:         reg.Counter("proxy.encode.requests"),
 		decReq:         reg.Counter("proxy.decode.requests"),
+		kvReq:          reg.Counter("proxy.kv.requests"),
 		encLatency:     reg.Histogram("proxy.encode.latency_ns"),
 		decLatency:     reg.Histogram("proxy.decode.latency_ns"),
+		kvLatency:      reg.Histogram("proxy.kv.latency_ns"),
 		decUpstream:    reg.Histogram("proxy.upstream.decode.latency_ns"),
 		retries:        reg.Counter("proxy.retries"),
 		hedges:         reg.Counter("proxy.hedges"),
@@ -296,6 +305,7 @@ func New(cfg Config) (*Proxy, error) {
 	p.ring = newRing(names, cfg.VirtualNodes)
 	p.mux.HandleFunc("/v1/encode", p.handleCodec)
 	p.mux.HandleFunc("/v1/decode", p.handleCodec)
+	p.mux.HandleFunc("/v1/kv/", p.handleKV)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/metricsz", p.handleMetricsz)
 	return p, nil
@@ -450,7 +460,7 @@ func (p *Proxy) forwardOnce(ctx context.Context, b *backend, r *http.Request, bo
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
 	if err != nil {
 		return &upshot{b: b, err: err, hedged: hedged}
 	}
@@ -659,6 +669,49 @@ func (p *Proxy) handleCodec(w http.ResponseWriter, r *http.Request) {
 		h.Observe(time.Since(start).Nanoseconds())
 	}()
 
+	body, ok := p.readBody(w, r)
+	if !ok {
+		return
+	}
+	p.dispatch(w, r, body, requestKey(r, body), isDecode)
+}
+
+// handleKV routes one /v1/kv/{session} request. The routing key is the
+// session path segment, so every request for a session lands on the same
+// ring replica — the only backend holding that session's incremental
+// encoder state. KV requests are never hedged: a hedge raced against a
+// replica that does not hold the session answers 404, a legitimate
+// terminal status that would beat the owner's slower 200/206 and turn a
+// resident session into a phantom miss. Retries still fail over on
+// transport errors and 5xx; the replacement replica answers 404 (or 409
+// for positioned appends), which clients treat as a cache miss and
+// rebuild — the standard cache-tier contract.
+func (p *Proxy) handleKV(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPut, http.MethodGet, http.MethodDelete:
+	default:
+		p.writeJSONError(w, http.StatusMethodNotAllowed, "proxy: PUT, GET or DELETE only", "bad_request")
+		return
+	}
+	session := strings.TrimPrefix(r.URL.Path, "/v1/kv/")
+	if session == "" || strings.Contains(session, "/") {
+		p.writeJSONError(w, http.StatusNotFound, "proxy: kv path is /v1/kv/{session}", "not_found")
+		return
+	}
+	p.m.kvReq.Inc()
+	start := time.Now()
+	defer func() { p.m.kvLatency.Observe(time.Since(start).Nanoseconds()) }()
+
+	body, ok := p.readBody(w, r)
+	if !ok {
+		return
+	}
+	p.dispatch(w, r, body, "kv/"+session, false)
+}
+
+// readBody buffers the whole request body under MaxBodyBytes, writing the
+// error response itself when the read fails.
+func (p *Proxy) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
 	if err != nil {
 		status, class := http.StatusBadRequest, "bad_request"
@@ -666,10 +719,17 @@ func (p *Proxy) handleCodec(w http.ResponseWriter, r *http.Request) {
 			status, class = http.StatusRequestEntityTooLarge, "too_large"
 		}
 		p.writeJSONError(w, status, "proxy: reading body: "+err.Error(), class)
-		return
+		return nil, false
 	}
+	return body, true
+}
 
-	seq := p.ring.sequence(requestKey(r, body))
+// dispatch runs the shared routing loop for one buffered request: walk the
+// key's ring sequence preferring untried backends, run attempt rounds
+// (hedged only for decode), honor Retry-After hints between retries, and
+// answer a typed 502 when every attempt is spent.
+func (p *Proxy) dispatch(w http.ResponseWriter, r *http.Request, body []byte, key string, isDecode bool) {
+	seq := p.ring.sequence(key)
 	tried := make(map[int]bool, len(seq))
 	var lastHint time.Duration
 	var haveHint bool

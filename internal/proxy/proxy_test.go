@@ -32,10 +32,16 @@ type testBackend struct {
 }
 
 func newTestBackends(t testing.TB, n int) []*testBackend {
+	return newTestBackendsCfg(t, n, func(int) serve.Config { return serve.Config{MaxInflight: 4} })
+}
+
+// newTestBackendsCfg is newTestBackends with a per-backend serve config —
+// kv tests use it to give each instance its own session table.
+func newTestBackendsCfg(t testing.TB, n int, cfgFor func(i int) serve.Config) []*testBackend {
 	t.Helper()
 	out := make([]*testBackend, n)
 	for i := range out {
-		b := &testBackend{srv: serve.New(serve.Config{MaxInflight: 4})}
+		b := &testBackend{srv: serve.New(cfgFor(i))}
 		inner := b.srv.Handler()
 		b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if r.URL.Path == "/healthz" && b.healthzDown.Load() {

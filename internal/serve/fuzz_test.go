@@ -16,19 +16,22 @@ import (
 // this hunts).
 var knownStatuses = map[int]bool{
 	http.StatusOK:               true,
+	http.StatusNoContent:        true, // kv DELETE
 	http.StatusPartialContent:   true,
 	http.StatusMovedPermanently: true, // ServeMux path canonicalization
 
-	http.StatusBadRequest:            true,
-	http.StatusNotFound:              true, // unknown path (mux)
-	http.StatusMethodNotAllowed:      true,
-	http.StatusConflict:              true,
-	http.StatusRequestEntityTooLarge: true,
-	http.StatusUnprocessableEntity:   true,
-	http.StatusTooManyRequests:       true,
-	StatusClientClosedRequest:        true,
-	http.StatusServiceUnavailable:    true,
-	http.StatusGatewayTimeout:        true,
+	http.StatusBadRequest:                   true,
+	http.StatusNotFound:                     true, // unknown path (mux), kv session
+	http.StatusMethodNotAllowed:             true,
+	http.StatusConflict:                     true,
+	http.StatusRequestEntityTooLarge:        true,
+	http.StatusRequestedRangeNotSatisfiable: true, // kv range past the window
+	http.StatusUnprocessableEntity:          true,
+	http.StatusTooManyRequests:              true,
+	StatusClientClosedRequest:               true,
+	http.StatusServiceUnavailable:           true,
+	http.StatusGatewayTimeout:               true,
+	http.StatusInsufficientStorage:          true, // kv budget exhausted
 }
 
 // FuzzServeRequest throws arbitrary method/path/query/body combinations at

@@ -117,7 +117,10 @@ func (s *Server) optionsFromQuery(q url.Values) (core.Options, error) {
 }
 
 // readBody slurps the request body under the configured cap, mapping an
-// overflow to 413.
+// overflow to 413. A read that fails because the request context died is the
+// client hanging up (or the deadline blowing) mid-body — that classifies as
+// 499/504 through the shared taxonomy, never as the client's 400: a
+// streaming PUT abandoned halfway is not a malformed request.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -126,6 +129,11 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 			s.m.rejTooLarge.Inc()
 			s.writeJSONError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("serve: body exceeds %d bytes", s.cfg.MaxBodyBytes), "too_large")
+			return nil, false
+		}
+		if cerr := r.Context().Err(); cerr != nil {
+			s.m.errCanceled.Inc()
+			s.writeJSONError(w, statusFor(cerr), "serve: reading body: "+err.Error(), errClass(cerr))
 			return nil, false
 		}
 		s.writeJSONError(w, http.StatusBadRequest, "serve: reading body: "+err.Error(), "bad_request")

@@ -27,6 +27,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/codec"
+	"repro/internal/kv"
 	"repro/internal/obs"
 )
 
@@ -51,6 +53,24 @@ type Config struct {
 	// Metrics receives the service and codec metrics and backs /metricsz.
 	// Nil allocates a private registry.
 	Metrics *obs.Registry
+
+	// KV mounts a prebuilt session table under /v1/kv/ (tests use this to
+	// attach eviction hooks or tight budgets); nil builds one from the
+	// KV* fields below with the server's registry and worker count.
+	KV *kv.Table
+	// KVBudgetBytes caps the kv tier's resident bytes. Default 256 MiB.
+	KVBudgetBytes int64
+	// KVTTL expires idle kv sessions. 0 selects the kv default (15 min);
+	// negative disables expiry.
+	KVTTL time.Duration
+	// KVFlushRows is the kv tier's chunk granularity in token rows.
+	// Default 32.
+	KVFlushRows int
+	// KVQP is the kv tier's quantizer step. Default 12 (near-lossless —
+	// cache rows feed attention directly, unlike weights fetched once).
+	KVQP int
+	// KVBackend selects the kv tier's entropy backend (CABAC default).
+	KVBackend codec.EntropyBackend
 }
 
 // withDefaults fills the zero fields.
@@ -81,7 +101,9 @@ func (c Config) withDefaults() Config {
 //	serve.responses.{2xx,4xx,5xx}                          counters
 type serveMetrics struct {
 	encReq, decReq                     *obs.Counter
+	kvPutReq, kvGetReq                 *obs.Counter
 	encLatency, decLatency, queueWait  *obs.Histogram
+	kvLatency                          *obs.Histogram
 	rejQueue, rejDraining, rejTooLarge *obs.Counter
 	errCorrupt, errTruncated           *obs.Counter
 	errChecksum, errCanceled           *obs.Counter
@@ -92,6 +114,9 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 	return serveMetrics{
 		encReq:       reg.Counter("serve.encode.requests"),
 		decReq:       reg.Counter("serve.decode.requests"),
+		kvPutReq:     reg.Counter("serve.kv.put.requests"),
+		kvGetReq:     reg.Counter("serve.kv.get.requests"),
+		kvLatency:    reg.Histogram("serve.kv.latency_ns"),
 		encLatency:   reg.Histogram("serve.encode.latency_ns"),
 		decLatency:   reg.Histogram("serve.decode.latency_ns"),
 		queueWait:    reg.Histogram("serve.queue_wait_ns"),
@@ -127,25 +152,43 @@ type Server struct {
 	reg *obs.Registry
 	m   serveMetrics
 	adm *admission
+	kv  *kv.Table
 	mux *http.ServeMux
 }
 
 // New builds a Server from cfg (zero fields defaulted).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	kvTab := cfg.KV
+	if kvTab == nil {
+		kvTab = kv.New(kv.Config{
+			BudgetBytes: cfg.KVBudgetBytes,
+			TTL:         cfg.KVTTL,
+			FlushRows:   cfg.KVFlushRows,
+			QP:          cfg.KVQP,
+			Backend:     cfg.KVBackend,
+			Workers:     cfg.Workers,
+			Metrics:     cfg.Metrics,
+		})
+	}
 	s := &Server{
 		cfg: cfg,
 		reg: cfg.Metrics,
 		m:   newServeMetrics(cfg.Metrics),
 		adm: newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		kv:  kvTab,
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/encode", s.handleEncode)
 	s.mux.HandleFunc("/v1/decode", s.handleDecode)
+	s.mux.HandleFunc("/v1/kv/", s.handleKV)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	return s
 }
+
+// KV returns the session table mounted under /v1/kv/.
+func (s *Server) KV() *kv.Table { return s.kv }
 
 // Handler returns the service's http.Handler (the route mux). It is safe
 // for concurrent use and for mounting under httptest.NewServer.
