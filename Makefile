@@ -12,7 +12,7 @@ GO ?= go
 # Per-target time budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test store-test kv-test
+.PHONY: all build test vet race race-touched ci bench bench-guard bench-baseline bench-micro bench-parallel fuzz-smoke serve-test proxy-test store-test kv-test train-test
 
 all: build
 
@@ -73,7 +73,17 @@ store-test:
 kv-test:
 	KV_SOAK=1 $(GO) test -race ./internal/kv/ -timeout 30m
 
-ci: build vet test serve-test proxy-test store-test kv-test race fuzz-smoke bench-guard
+# The concurrent ring-allreduce under the race detector: the determinism
+# property matrix (uncompressed concurrent ≡ bit-identical sequential;
+# compressed byte-deterministic across worker counts and schedule seeds for
+# both entropy backends), the error-feedback and wire-codec unit tests, and
+# the chaos soak — TRAIN_SOAK=1 raises the ring to ≥96 workers of randomized
+# scheduling with mid-run cancellation, asserting bit-exact reductions,
+# context-clean unwinds and a leak-free goroutine drain (DESIGN.md §17).
+train-test:
+	TRAIN_SOAK=1 $(GO) test -race ./internal/allreduce/ ./internal/train/ -timeout 30m
+
+ci: build vet test serve-test proxy-test store-test kv-test train-test race fuzz-smoke bench-guard
 
 # Coverage-guided fuzzing of every decode entry point, FUZZTIME per target.
 # Each target is seeded from valid round-trip containers, so the fuzzer
@@ -85,6 +95,7 @@ fuzz-smoke:
 	$(GO) test ./internal/entropy/ -run '^$$' -fuzz FuzzEntropy -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzKVRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/allreduce/ -run '^$$' -fuzz FuzzAllreduceSegment -fuzztime $(FUZZTIME)
 
 # The instrumented end-to-end benchmark: llm265 bench encodes+decodes a
 # deterministic synthetic stack with full metrics and writes a
@@ -105,7 +116,7 @@ bench-guard:
 # Regenerate the bench-guard baseline. Run on a quiet machine and commit the
 # result; keep the geometry small enough for CI to repeat cheaply.
 bench-baseline:
-	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -store -kv -name baseline -out BENCH_baseline.json
+	$(GO) run ./cmd/llm265 bench -layers 4 -rows 256 -cols 256 -qp 30 -workers 4 -serve -proxy -store -kv -train -name baseline -out BENCH_baseline.json
 
 # One pass over every paper-artifact micro-benchmark (testing.B).
 bench-micro:

@@ -1,0 +1,551 @@
+package allreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config describes one ring instance. The zero value is not usable: Workers,
+// Rows, Cols and Codec are required.
+type Config struct {
+	// Workers is the ring size N: one goroutine per data-parallel worker.
+	Workers int
+	// Rows, Cols give the bucket geometry every worker contributes.
+	Rows, Cols int
+	// SegRows is the row height of one pipelined segment. 0 picks
+	// ceil(Rows/(2·Workers)) (at least 1), giving every worker about two
+	// owned segments so encode overlaps neighbor communication.
+	SegRows int
+	// Codec builds each worker's segment codec (required).
+	Codec CodecFactory
+	// ErrorFeedback enables per-worker residual accumulation: the
+	// quantization error of each encoded segment is carried into the next
+	// step's contribution (and, on the gather side, into the owner's next
+	// reduced encode). No effect on lossless codecs.
+	ErrorFeedback bool
+	// Metrics receives allreduce.* counters and histograms; nil disables
+	// them at zero cost.
+	Metrics *obs.Registry
+	// ScheduleSeed, when nonzero, permutes each worker's segment encode
+	// order pseudo-randomly (seeded per worker). Results are identical for
+	// every seed — the determinism property tests sweep this.
+	ScheduleSeed int64
+	// Chaos, when set, is called at named scheduling points
+	// ("encode"/"send"/"recv"/"decode"/"reduce") with the worker index.
+	// The race soak uses it to inject Gosched/sleep jitter; it must be
+	// safe for concurrent use.
+	Chaos func(point string, worker int)
+}
+
+// Stats aggregates one Allreduce call across all workers.
+type Stats struct {
+	// WireBits is the accounted cost of every frame that traveled at least
+	// one ring hop (counted once at its origin, not per hop). The raw
+	// codec accounts 16 bits/value (FP16 link model), so an uncompressed
+	// N-worker ring accounts exactly N·numel·16 — the same figure the
+	// sequential data-parallel loop reports.
+	WireBits int64
+	// Values is the number of tensor values those frames carried.
+	Values int64
+	// PayloadBytes is the physical payload bytes that traveled (per hop
+	// this time: a frame forwarded F times contributes F·len(payload)).
+	PayloadBytes int64
+	// Frames is the total frame-hops across all edges.
+	Frames int64
+	// EncodeNs and DecodeNs are summed per-worker CPU time inside the
+	// segment codec (not wall clock — workers overlap).
+	EncodeNs, DecodeNs int64
+	// ResidualL2 is the summed squared error-feedback residual left
+	// behind by this step's encodes (0 when lossless or EF disabled).
+	ResidualL2 float64
+}
+
+type segment struct {
+	start, rows int
+}
+
+type ringMetrics struct {
+	encNs, decNs, reduceNs, waitNs *obs.Histogram
+	reduceBits, gatherBits         *obs.Histogram
+	payloadBytes, frames, segments *obs.Counter
+	steps, cancelled               *obs.Counter
+	residL2                        *obs.Histogram
+}
+
+// Ring is a reusable N-worker compressed allreduce. A Ring carries state
+// across steps (error-feedback residuals, codec warmup counters), so a
+// training loop creates one Ring and calls Allreduce once per step,
+// AdvanceStep after each. A Ring is not safe for concurrent Allreduce calls.
+type Ring struct {
+	cfg    Config
+	n      int
+	segs   []segment
+	codecs []SegmentCodec
+
+	// resid[w][s]: worker w's reduce-side EF residual for segment s.
+	resid [][][]float32
+	// gatherResid[s]: the owner's gather-side EF residual (owned segs only).
+	gatherResid [][]float32
+
+	// contrib[s][origin] and sumBuf[s] are owner-side buffers, touched only
+	// by the owning worker's goroutine. Allocated once in New, reused every
+	// step (the steady state allocates only codec payloads).
+	contrib [][][]float32
+	sumBuf  [][]float32
+
+	// scratch[w]: worker w's encode staging buffer (segment + residual).
+	scratch [][]float32
+
+	// chans[i] is the edge worker i → worker (i+1)%N, pre-sized in New to
+	// the exact number of frames that cross it, so sends never block and
+	// the ring cannot deadlock whatever the interleaving.
+	chans   []chan []byte
+	inCount []int
+
+	met ringMetrics
+}
+
+// New validates cfg and builds the ring: per-worker codecs, EF residual and
+// owner-side reduction buffers, and exactly-sized edge channels.
+func New(cfg Config) (*Ring, error) {
+	if cfg.Workers < 1 || cfg.Workers > 1<<16-1 {
+		return nil, fmt.Errorf("allreduce: %d workers", cfg.Workers)
+	}
+	if cfg.Rows < 1 || cfg.Cols < 1 || cfg.Rows > maxSegDim || cfg.Cols > maxSegDim {
+		return nil, fmt.Errorf("allreduce: bucket geometry %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Codec == nil {
+		return nil, errors.New("allreduce: Codec is required")
+	}
+	if cfg.SegRows < 0 {
+		return nil, fmt.Errorf("allreduce: SegRows %d", cfg.SegRows)
+	}
+	segRows := cfg.SegRows
+	if segRows == 0 {
+		segRows = (cfg.Rows + 2*cfg.Workers - 1) / (2 * cfg.Workers)
+		if segRows < 1 {
+			segRows = 1
+		}
+	}
+	r := &Ring{cfg: cfg, n: cfg.Workers}
+	for start := 0; start < cfg.Rows; start += segRows {
+		rows := segRows
+		if start+rows > cfg.Rows {
+			rows = cfg.Rows - start
+		}
+		r.segs = append(r.segs, segment{start: start, rows: rows})
+	}
+	s := len(r.segs)
+	r.codecs = make([]SegmentCodec, r.n)
+	for w := 0; w < r.n; w++ {
+		r.codecs[w] = cfg.Codec(w)
+	}
+	r.resid = make([][][]float32, r.n)
+	for w := range r.resid {
+		r.resid[w] = make([][]float32, s)
+	}
+	r.gatherResid = make([][]float32, s)
+	r.contrib = make([][][]float32, s)
+	r.sumBuf = make([][]float32, s)
+	for i, seg := range r.segs {
+		n := seg.rows * cfg.Cols
+		r.sumBuf[i] = make([]float32, n)
+		r.contrib[i] = make([][]float32, r.n)
+		for o := range r.contrib[i] {
+			r.contrib[i][o] = make([]float32, n)
+		}
+	}
+	r.scratch = make([][]float32, r.n)
+	for w := range r.scratch {
+		r.scratch[w] = make([]float32, segRows*cfg.Cols)
+	}
+	if r.n > 1 {
+		edgeCap := make([]int, r.n)
+		for si := range r.segs {
+			owner := si % r.n
+			for origin := 0; origin < r.n; origin++ {
+				d := (owner - origin + r.n) % r.n
+				for k := 0; k < d; k++ {
+					edgeCap[(origin+k)%r.n]++
+				}
+			}
+			// The gather frame crosses every edge except the one entering
+			// its owner.
+			for k := 0; k < r.n-1; k++ {
+				edgeCap[(owner+k)%r.n]++
+			}
+		}
+		r.chans = make([]chan []byte, r.n)
+		r.inCount = make([]int, r.n)
+		for i := range r.chans {
+			r.chans[i] = make(chan []byte, edgeCap[i])
+		}
+		for w := 0; w < r.n; w++ {
+			r.inCount[w] = edgeCap[(w-1+r.n)%r.n]
+		}
+	}
+	m := cfg.Metrics
+	r.met = ringMetrics{
+		encNs:        m.Histogram("allreduce.segment.encode_ns"),
+		decNs:        m.Histogram("allreduce.segment.decode_ns"),
+		reduceNs:     m.Histogram("allreduce.segment.reduce_ns"),
+		waitNs:       m.Histogram("allreduce.recv.wait_ns"),
+		reduceBits:   m.Histogram("allreduce.wire.reduce_bits"),
+		gatherBits:   m.Histogram("allreduce.wire.gather_bits"),
+		payloadBytes: m.Counter("allreduce.wire.payload_bytes"),
+		frames:       m.Counter("allreduce.wire.frames"),
+		segments:     m.Counter("allreduce.segments"),
+		steps:        m.Counter("allreduce.steps"),
+		cancelled:    m.Counter("allreduce.cancelled"),
+		residL2:      m.Histogram("allreduce.ef.residual_l2_x1e6"),
+	}
+	return r, nil
+}
+
+// Segments reports the segment count (test/diagnostic visibility).
+func (r *Ring) Segments() int { return len(r.segs) }
+
+// AdvanceStep advances per-step codec state (e.g. 1-bit warmup counters) on
+// every worker's codec. Call once after each training step.
+func (r *Ring) AdvanceStep() {
+	for _, c := range r.codecs {
+		if s, ok := c.(Stepper); ok {
+			s.AdvanceStep()
+		}
+	}
+}
+
+// Allreduce runs one collective: in[w] is worker w's bucket (Rows·Cols,
+// row-major) and out[w] receives the exact elementwise SUM of all
+// contributions' reconstructions — callers scale by 1/N themselves, matching
+// the sequential loop. out may alias in. The reduction order is canonical
+// (ascending worker index at the segment owner), so the result is
+// bit-identical across repeated runs, channel schedules and codec worker
+// counts; with the raw codec it is bit-identical to a sequential sum.
+//
+// On ctx cancellation every worker unwinds promptly and leak-free; out is
+// then meaningless and the error reports the cause.
+func (r *Ring) Allreduce(ctx context.Context, in, out [][]float32) (Stats, error) {
+	if len(in) != r.n || len(out) != r.n {
+		return Stats{}, fmt.Errorf("allreduce: %d inputs, %d outputs for %d workers", len(in), len(out), r.n)
+	}
+	numel := r.cfg.Rows * r.cfg.Cols
+	for w := 0; w < r.n; w++ {
+		if len(in[w]) != numel || len(out[w]) != numel {
+			return Stats{}, fmt.Errorf("allreduce: worker %d buffers %d/%d values, want %d", w, len(in[w]), len(out[w]), numel)
+		}
+	}
+	// Drain any frames a previously cancelled step abandoned in flight, so
+	// the exact-capacity invariant holds again.
+	for _, ch := range r.chans {
+		for len(ch) > 0 {
+			<-ch
+		}
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	stats := make([]Stats, r.n)
+	for w := 0; w < r.n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := r.runWorker(ictx, w, in[w], out[w], &stats[w]); err != nil {
+				fail(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		r.met.cancelled.Inc()
+		return Stats{}, firstErr
+	}
+	var total Stats
+	for _, s := range stats {
+		total.WireBits += s.WireBits
+		total.Values += s.Values
+		total.PayloadBytes += s.PayloadBytes
+		total.Frames += s.Frames
+		total.EncodeNs += s.EncodeNs
+		total.DecodeNs += s.DecodeNs
+		total.ResidualL2 += s.ResidualL2
+	}
+	r.met.steps.Inc()
+	r.met.residL2.Observe(int64(total.ResidualL2 * 1e6))
+	return total, nil
+}
+
+func (r *Ring) chaos(point string, w int) {
+	if r.cfg.Chaos != nil {
+		r.cfg.Chaos(point, w)
+	}
+}
+
+// encodeOrder returns worker w's segment encode order for this step.
+func (r *Ring) encodeOrder(w int) []int {
+	order := make([]int, len(r.segs))
+	for i := range order {
+		order[i] = i
+	}
+	if r.cfg.ScheduleSeed != 0 {
+		rng := rand.New(rand.NewSource(r.cfg.ScheduleSeed*1_000_003 + int64(w)))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return order
+}
+
+func (r *Ring) runWorker(ctx context.Context, w int, in, out []float32, st *Stats) error {
+	cod := r.codecs[w]
+	done := make([]int, len(r.segs)) // owner-side contribution counts
+
+	// Phase 1: encode and launch every local segment. Sends cannot block
+	// (exact edge capacity), so a worker streams all its contributions out
+	// while neighbors are still encoding — the pipelining the tentpole asks
+	// for. Frames whose owner is this worker short-circuit through the same
+	// parse/decode path a remote copy would take.
+	for _, si := range r.encodeOrder(w) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seg := r.segs[si]
+		n := seg.rows * r.cfg.Cols
+		scratch := r.scratch[w][:n]
+		copy(scratch, in[seg.start*r.cfg.Cols:seg.start*r.cfg.Cols+n])
+		if r.cfg.ErrorFeedback {
+			if res := r.resid[w][si]; res != nil {
+				for i := range scratch {
+					scratch[i] += res[i]
+				}
+			}
+		}
+		r.chaos("encode", w)
+		t0 := time.Now()
+		payload, recon, bitCost, err := cod.Encode(ctx, scratch, seg.rows, r.cfg.Cols)
+		st.EncodeNs += time.Since(t0).Nanoseconds()
+		r.met.encNs.ObserveSince(t0)
+		if err != nil {
+			return fmt.Errorf("allreduce: worker %d encode seg %d: %w", w, si, err)
+		}
+		if r.cfg.ErrorFeedback && recon != nil {
+			res := r.resid[w][si]
+			if res == nil {
+				res = make([]float32, n)
+				r.resid[w][si] = res
+			}
+			var l2 float64
+			for i := range scratch {
+				d := scratch[i] - recon[i]
+				res[i] = d
+				l2 += float64(d) * float64(d)
+			}
+			st.ResidualL2 += l2
+		}
+		frame := &Frame{Kind: KindReduce, Wire: cod.Wire(), Origin: w, Seg: si, Rows: seg.rows, Cols: r.cfg.Cols, Payload: payload}
+		buf := frame.Marshal()
+		r.met.segments.Inc()
+		owner := si % r.n
+		if owner == w {
+			if err := r.consumeReduce(ctx, w, frame, done, out, st); err != nil {
+				return err
+			}
+			continue
+		}
+		st.WireBits += bitCost
+		st.Values += int64(n)
+		r.met.reduceBits.Observe(bitCost)
+		if err := r.send(ctx, w, buf, st); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: drain the incoming edge. The exact per-edge frame counts
+	// guarantee that after inCount frames this worker has consumed every
+	// contribution it owns and every gather result it needs.
+	if r.n == 1 {
+		return nil
+	}
+	inCh := r.chans[(w-1+r.n)%r.n]
+	for k := 0; k < r.inCount[w]; k++ {
+		r.chaos("recv", w)
+		t0 := time.Now()
+		var buf []byte
+		select {
+		case buf = <-inCh:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		r.met.waitNs.ObserveSince(t0)
+		f, err := ParseFrame(buf)
+		if err != nil {
+			return fmt.Errorf("allreduce: worker %d: %w", w, err)
+		}
+		if err := r.validateFrame(f); err != nil {
+			return fmt.Errorf("allreduce: worker %d: %w", w, err)
+		}
+		switch f.Kind {
+		case KindReduce:
+			if f.Seg%r.n == w {
+				if err := r.consumeReduce(ctx, w, f, done, out, st); err != nil {
+					return err
+				}
+			} else if err := r.send(ctx, w, buf, st); err != nil {
+				return err
+			}
+		case KindGather:
+			seg := r.segs[f.Seg]
+			n := seg.rows * r.cfg.Cols
+			r.chaos("decode", w)
+			t0 := time.Now()
+			err := cod.Decode(ctx, f.Payload, seg.rows, r.cfg.Cols, out[seg.start*r.cfg.Cols:seg.start*r.cfg.Cols+n])
+			st.DecodeNs += time.Since(t0).Nanoseconds()
+			r.met.decNs.ObserveSince(t0)
+			if err != nil {
+				return fmt.Errorf("allreduce: worker %d gather seg %d: %w", w, f.Seg, err)
+			}
+			if (w+1)%r.n != f.Origin {
+				if err := r.send(ctx, w, buf, st); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateFrame checks routing metadata against the ring's own geometry
+// before any buffer is indexed by it.
+func (r *Ring) validateFrame(f *Frame) error {
+	if f.Seg >= len(r.segs) {
+		return fmt.Errorf("allreduce: frame for segment %d of %d", f.Seg, len(r.segs))
+	}
+	if f.Origin >= r.n {
+		return fmt.Errorf("allreduce: frame origin %d of %d workers", f.Origin, r.n)
+	}
+	seg := r.segs[f.Seg]
+	if f.Rows != seg.rows || f.Cols != r.cfg.Cols {
+		return fmt.Errorf("allreduce: frame geometry %dx%d for segment %d (%dx%d)", f.Rows, f.Cols, f.Seg, seg.rows, r.cfg.Cols)
+	}
+	if f.Kind == KindGather && f.Origin != f.Seg%r.n {
+		return fmt.Errorf("allreduce: gather frame for segment %d from %d, owner is %d", f.Seg, f.Origin, f.Seg%r.n)
+	}
+	return nil
+}
+
+func (r *Ring) send(ctx context.Context, w int, buf []byte, st *Stats) error {
+	r.chaos("send", w)
+	st.Frames++
+	st.PayloadBytes += int64(len(buf) - frameHeaderLen)
+	r.met.frames.Inc()
+	r.met.payloadBytes.Add(int64(len(buf) - frameHeaderLen))
+	select {
+	case r.chans[w] <- buf:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// consumeReduce decodes one contribution at its owner and, once all N have
+// arrived, performs the canonical-order reduction and launches the gather.
+func (r *Ring) consumeReduce(ctx context.Context, w int, f *Frame, done []int, out []float32, st *Stats) error {
+	seg := r.segs[f.Seg]
+	n := seg.rows * r.cfg.Cols
+	r.chaos("decode", w)
+	t0 := time.Now()
+	err := r.codecs[w].Decode(ctx, f.Payload, seg.rows, r.cfg.Cols, r.contrib[f.Seg][f.Origin])
+	st.DecodeNs += time.Since(t0).Nanoseconds()
+	r.met.decNs.ObserveSince(t0)
+	if err != nil {
+		return fmt.Errorf("allreduce: worker %d reduce seg %d origin %d: %w", w, f.Seg, f.Origin, err)
+	}
+	done[f.Seg]++
+	if done[f.Seg] < r.n {
+		return nil
+	}
+
+	// All contributions present: sum in ascending origin order — float32
+	// accumulation in a schedule-independent association, exactly the
+	// arithmetic the sequential loop performs.
+	r.chaos("reduce", w)
+	t0 = time.Now()
+	sum := r.sumBuf[f.Seg]
+	copy(sum, r.contrib[f.Seg][0])
+	for origin := 1; origin < r.n; origin++ {
+		c := r.contrib[f.Seg][origin]
+		for i := range sum {
+			sum[i] += c[i]
+		}
+	}
+	r.met.reduceNs.ObserveSince(t0)
+
+	outSeg := out[seg.start*r.cfg.Cols : seg.start*r.cfg.Cols+n]
+	if r.n == 1 {
+		// Single worker: the "sum" is this worker's own reconstruction;
+		// re-encoding it for a gather that has no audience would only add
+		// a second quantization, so match the sequential Replicas=1 path.
+		copy(outSeg, sum)
+		return nil
+	}
+
+	// Gather: compress the reduced segment once; the identical bytes circle
+	// the ring so every worker reconstructs the identical values.
+	scratch := r.scratch[w][:n]
+	copy(scratch, sum)
+	if r.cfg.ErrorFeedback {
+		if res := r.gatherResid[f.Seg]; res != nil {
+			for i := range scratch {
+				scratch[i] += res[i]
+			}
+		}
+	}
+	r.chaos("encode", w)
+	t0 = time.Now()
+	payload, recon, bitCost, err := r.codecs[w].Encode(ctx, scratch, seg.rows, r.cfg.Cols)
+	st.EncodeNs += time.Since(t0).Nanoseconds()
+	r.met.encNs.ObserveSince(t0)
+	if err != nil {
+		return fmt.Errorf("allreduce: worker %d gather encode seg %d: %w", w, f.Seg, err)
+	}
+	if recon == nil {
+		copy(outSeg, scratch)
+	} else {
+		copy(outSeg, recon)
+		if r.cfg.ErrorFeedback {
+			res := r.gatherResid[f.Seg]
+			if res == nil {
+				res = make([]float32, n)
+				r.gatherResid[f.Seg] = res
+			}
+			var l2 float64
+			for i := range scratch {
+				d := scratch[i] - recon[i]
+				res[i] = d
+				l2 += float64(d) * float64(d)
+			}
+			st.ResidualL2 += l2
+		}
+	}
+	gf := &Frame{Kind: KindGather, Wire: r.codecs[w].Wire(), Origin: w, Seg: f.Seg, Rows: seg.rows, Cols: r.cfg.Cols, Payload: payload}
+	st.WireBits += bitCost
+	st.Values += int64(n)
+	r.met.gatherBits.Observe(bitCost)
+	return r.send(ctx, w, gf.Marshal(), st)
+}

@@ -1,0 +1,197 @@
+package allreduce
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// chaosJitter returns a Chaos hook that randomly yields or sleeps at every
+// scheduling point, so the race detector sees as many interleavings as the
+// runtime can produce. The rng is locked: the hook is called from every
+// ring worker concurrently.
+func chaosJitter(seed int64) func(string, int) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(string, int) {
+		mu.Lock()
+		n := rng.Intn(20)
+		mu.Unlock()
+		switch {
+		case n == 0:
+			time.Sleep(time.Duration(n) * 50 * time.Microsecond)
+		case n < 8:
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestRingSoak is the satellite soak: a ≥64-worker ring under chaotic
+// scheduling, repeated steps, and mid-run cancellations, run with -race by
+// `make train-test`. TRAIN_SOAK=1 raises the scale; the default keeps plain
+// `go test ./...` quick. Every completed step must be bit-identical to the
+// first (schedule independence under adversarial interleavings), every
+// cancelled step must unwind leak-free (goroutine sandwich), and the ring
+// must recover to produce correct results after each cancellation.
+func TestRingSoak(t *testing.T) {
+	workers, steps, cancels := 64, 6, 3
+	if os.Getenv("TRAIN_SOAK") == "1" {
+		workers, steps, cancels = 96, 20, 8
+	} else if testing.Short() {
+		workers, steps, cancels = 16, 3, 1
+	}
+	const rows, cols = 64, 16
+	in := randBuckets(101, workers, rows, cols)
+	want := plainSum(in)
+
+	r, err := New(Config{
+		Workers: workers, Rows: rows, Cols: cols, SegRows: 1,
+		Codec: RawCodec(), ScheduleSeed: 12345, Chaos: chaosJitter(202),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	out := make([][]float32, workers)
+	for w := range out {
+		out[w] = make([]float32, rows*cols)
+	}
+
+	before := runtime.NumGoroutine()
+	verify := func(step int) {
+		t.Helper()
+		for w := 0; w < workers; w++ {
+			for i := range want {
+				if math.Float32bits(out[w][i]) != math.Float32bits(want[i]) {
+					t.Fatalf("step %d worker %d value %d = %g, want %g", step, w, i, out[w][i], want[i])
+				}
+			}
+		}
+	}
+	for s := 0; s < steps; s++ {
+		if _, err := r.Allreduce(context.Background(), in, out); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		verify(s)
+		r.AdvanceStep()
+	}
+
+	// Mid-run cancellations: a chaos-triggered cancel fires somewhere inside
+	// the collective; the call must return promptly with the context error
+	// and the next uncancelled step must still be exact.
+	for c := 0; c < cancels; c++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired atomic.Int64
+		trip := int64(50 + c*137)
+		jitter := chaosJitter(int64(300 + c))
+		rc, err := New(Config{
+			Workers: workers, Rows: rows, Cols: cols, SegRows: 1,
+			Codec: RawCodec(),
+			Chaos: func(point string, w int) {
+				if fired.Add(1) == trip {
+					cancel()
+				}
+				jitter(point, w)
+			},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := rc.Allreduce(ctx, in, out); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel %d: err=%v, want context.Canceled", c, err)
+		}
+		cancel()
+		// The same ring must drain abandoned in-flight frames and produce an
+		// exact result on the next call.
+		if _, err := rc.Allreduce(context.Background(), in, out); err != nil {
+			t.Fatalf("post-cancel step: %v", err)
+		}
+		verify(-1)
+	}
+
+	// Goroutine sandwich: all ring workers must be gone. Allow the runtime a
+	// few settle iterations for exiting goroutines to be reaped.
+	for i := 0; ; i++ {
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if i >= 50 {
+			t.Fatalf("goroutine leak: %d before, %d after", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRingSoakCompressed runs the chaotic soak on the real codec path at a
+// smaller ring size (the tensor encoder is ~1 MB/s on one core), checking
+// byte-determinism across steps instead of a closed-form result.
+func TestRingSoakCompressed(t *testing.T) {
+	workers := 8
+	if os.Getenv("TRAIN_SOAK") == "1" {
+		workers = 16
+	} else if testing.Short() {
+		workers = 4
+	}
+	const rows, cols = 16, 16
+	in := randBuckets(55, workers, rows, cols)
+	opts := core.DefaultOptions()
+	r, err := New(Config{
+		Workers: workers, Rows: rows, Cols: cols,
+		Codec: TensorCodec(opts, 16), ErrorFeedback: true,
+		ScheduleSeed: 9, Chaos: chaosJitter(77),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	out := make([][]float32, workers)
+	for w := range out {
+		out[w] = make([]float32, rows*cols)
+	}
+	if _, err := r.Allreduce(context.Background(), in, out); err != nil {
+		t.Fatalf("reference step: %v", err)
+	}
+	ref := make([]float32, rows*cols)
+	copy(ref, out[0])
+
+	// A fresh ring over the same inputs must reproduce the same bytes; the
+	// first ring (with EF residuals now loaded) must stay self-consistent
+	// across workers on every subsequent step.
+	r2, err := New(Config{
+		Workers: workers, Rows: rows, Cols: cols,
+		Codec: TensorCodec(opts, 16), ErrorFeedback: true,
+		ScheduleSeed: 31, Chaos: chaosJitter(78),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := r2.Allreduce(context.Background(), in, out); err != nil {
+		t.Fatalf("replay step: %v", err)
+	}
+	for i := range ref {
+		if math.Float32bits(out[0][i]) != math.Float32bits(ref[i]) {
+			t.Fatalf("fresh ring diverges at %d: %g vs %g", i, out[0][i], ref[i])
+		}
+	}
+	for s := 0; s < 2; s++ {
+		if _, err := r.Allreduce(context.Background(), in, out); err != nil {
+			t.Fatalf("EF step %d: %v", s, err)
+		}
+		for w := 1; w < workers; w++ {
+			for i := range out[0] {
+				if math.Float32bits(out[w][i]) != math.Float32bits(out[0][i]) {
+					t.Fatalf("EF step %d: worker %d diverges at %d", s, w, i)
+				}
+			}
+		}
+		r.AdvanceStep()
+	}
+}

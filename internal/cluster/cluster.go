@@ -74,6 +74,76 @@ var ThreeInOne = CodecSpec{
 	ThroughputGbps: 100 * 4.6,
 }
 
+// MeasuredCodec builds a CodecSpec from live telemetry instead of a
+// datasheet: the gradient allreduce harness (internal/allreduce via
+// train.RunDataParallelRing) measures its real per-core encode throughput in
+// MB/s of float32 tensor input and its achieved wire bits per value, and
+// this constructor turns them into the spec the step model consumes. lanes
+// scales the single-core software measurement to a projected engine count
+// (1 = exactly what was measured; an ASIC port multiplies lanes, not the
+// model). Area/power are zero: the measured codec is software on the host.
+func MeasuredCodec(name string, encodeMBps, avgBits, lanes float64) CodecSpec {
+	if avgBits <= 0 {
+		avgBits = 16
+	}
+	if lanes <= 0 {
+		lanes = 1
+	}
+	return CodecSpec{
+		Name:  name,
+		Ratio: 16 / avgBits,
+		// Tensor-side ingest: MB/s of float32 input → Gbps of the 16-bit
+		// wire representation those values would occupy uncompressed
+		// (the model's throughput cap is defined on link-side bits).
+		ThroughputGbps: encodeMBps * 1e6 * 8 / 2 / 1e9 * lanes,
+	}
+}
+
+// Projection is one scale point of a wall-clock projection: the measured
+// codec against the uncompressed link on the same layout.
+type Projection struct {
+	Model     LLMConfig
+	DP, PP    int
+	BaseStepS float64 // uncompressed step time
+	StepS     float64 // step time with the measured codec
+	CommFrac  float64 // communication share of the compressed step
+	Speedup   float64 // BaseStepS / StepS
+}
+
+// ProjectScales predicts training step time at each target parameter count
+// for the measured codec vs the uncompressed link — the ROADMAP item 5
+// projection ("feed measured encode throughput into internal/cluster to
+// project wall-clock at 7B–400B scale"). Pipeline depth is the minimum that
+// fits memory; data parallelism fills the GPU budget.
+func ProjectScales(base LLMConfig, gpu GPUSpec, nic NICSpec, measured CodecSpec,
+	gpus int, scales []float64) []Projection {
+
+	var out []Projection
+	for _, params := range scales {
+		llm := ScaleModel(base, params)
+		pp := MinPP(llm, gpu)
+		dp := gpus / pp
+		if dp < 1 {
+			dp = 1
+		}
+		withCodec := Config{GPU: gpu, NIC: nic, Codec: measured, DP: dp, PP: pp, NICsPerGPU: 1}
+		noCodec := withCodec
+		noCodec.Codec = NoCodec
+		s := Step(llm, withCodec)
+		b := Step(llm, noCodec)
+		p := Projection{
+			Model: llm, DP: dp, PP: pp,
+			BaseStepS: b.TotalS(), StepS: s.TotalS(),
+		}
+		if p.StepS > 0 {
+			p.CommFrac = (s.PPCommS + s.DPCommS) / p.StepS
+			p.Speedup = p.BaseStepS / p.StepS
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // LLMConfig describes the trained model and batch geometry.
 type LLMConfig struct {
 	Name        string

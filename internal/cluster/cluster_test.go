@@ -164,3 +164,67 @@ func TestAreaAndPowerAccounting(t *testing.T) {
 		t.Fatal("power must include codec energy")
 	}
 }
+
+// MeasuredCodec converts allreduce telemetry (encode MB/s of float32 input,
+// achieved wire bits/value) into the spec the step model consumes.
+func TestMeasuredCodecFromTelemetry(t *testing.T) {
+	c := MeasuredCodec("sw-llm265", 1000, 4, 1)
+	if c.Ratio != 4 {
+		t.Fatalf("ratio %.2f, want 4 (16 bits → 4 bits)", c.Ratio)
+	}
+	// 1000 MB/s of float32 input = 500 MB/s of the FP16 wire representation
+	// = 4 Gbps link-side ingest.
+	if math.Abs(c.ThroughputGbps-4) > 1e-9 {
+		t.Fatalf("throughput %.3f Gbps, want 4", c.ThroughputGbps)
+	}
+	if lanes := MeasuredCodec("x", 1000, 4, 50); math.Abs(lanes.ThroughputGbps-200) > 1e-9 {
+		t.Fatalf("lane scaling broken: %.3f, want 200", lanes.ThroughputGbps)
+	}
+	// Degenerate telemetry falls back to an uncompressed single lane.
+	d := MeasuredCodec("deg", 100, 0, 0)
+	if d.Ratio != 1 || math.Abs(d.ThroughputGbps-0.4) > 1e-9 {
+		t.Fatalf("degenerate fallback: ratio=%.2f thr=%.3f", d.Ratio, d.ThroughputGbps)
+	}
+}
+
+// ProjectScales must (a) deepen the pipeline as models stop fitting one GPU,
+// (b) never predict the codec making a step slower than uncompressed (the
+// step model bypasses codecs below line rate), and (c) show a real speedup
+// once the projected codec sustains line rate.
+func TestProjectScalesShape(t *testing.T) {
+	slow := MeasuredCodec("sw", 1, 4, 1)        // ~1 MB/s software: bypassed
+	fast := MeasuredCodec("asic", 1, 4, 100000) // lane-scaled past line rate
+	scales := []float64{7e9, 70e9, 400e9}
+
+	slowP := ProjectScales(LLaMA7B, DefaultGPU, DefaultNIC, slow, 256, scales)
+	fastP := ProjectScales(LLaMA7B, DefaultGPU, DefaultNIC, fast, 256, scales)
+	if len(slowP) != 3 || len(fastP) != 3 {
+		t.Fatalf("want 3 projections, got %d/%d", len(slowP), len(fastP))
+	}
+	for i := 1; i < len(fastP); i++ {
+		if fastP[i].PP < fastP[i-1].PP {
+			t.Fatalf("PP must grow with scale: %d then %d", fastP[i-1].PP, fastP[i].PP)
+		}
+	}
+	for i, p := range slowP {
+		if p.Speedup < 1-1e-9 || p.Speedup > 1+1e-9 {
+			t.Fatalf("scale %d: below-line-rate codec must be bypassed, speedup %.3f", i, p.Speedup)
+		}
+	}
+	for i, p := range fastP {
+		if p.Speedup <= 1 {
+			t.Fatalf("scale %d: line-rate codec shows no speedup (%.3f)", i, p.Speedup)
+		}
+		if p.StepS >= p.BaseStepS {
+			t.Fatalf("scale %d: compressed step %.3fs not faster than %.3fs", i, p.StepS, p.BaseStepS)
+		}
+		if p.CommFrac <= 0 || p.CommFrac >= 1 {
+			t.Fatalf("scale %d: comm fraction %.3f out of range", i, p.CommFrac)
+		}
+	}
+	// Communication share grows with scale (§7.3) for the uncompressed
+	// baseline; verify via the compressed-vs-base gap widening in seconds.
+	if gap0, gap2 := slowP[0].BaseStepS-fastP[0].StepS, slowP[2].BaseStepS-fastP[2].StepS; gap2 <= gap0 {
+		t.Fatalf("absolute savings should grow with scale: %.3fs then %.3fs", gap0, gap2)
+	}
+}

@@ -53,16 +53,11 @@ func RunDataParallel(m *nn.Transformer, corpus *data.Corpus, opt nn.Optimizer,
 	var bitsSum, valsSum float64
 	lossEMA := 0.0
 
-	// Identify bucketed parameters and the bucket layout.
-	var bucketed []*nn.Param
-	total := 0
-	for _, p := range params {
-		if isMatrixGrad(p) {
-			bucketed = append(bucketed, p)
-			total += len(p.G.V)
-		}
-	}
-	bucketRows := (total + bucketCols - 1) / bucketCols
+	// The bucket buffer is hoisted out of the step loop: gather/scatter
+	// reuse one bucketRows×bucketCols Mat for the whole run instead of
+	// allocating it per replica per step (pinned by an AllocsPerRun test).
+	bb := newBucketBuffer(params)
+	total := bb.total
 
 	sum := make([]*nn.Mat, len(params))
 	for i, p := range params {
@@ -80,21 +75,11 @@ func RunDataParallel(m *nn.Transformer, corpus *data.Corpus, opt nn.Optimizer,
 			stepLoss += m.TrainStep(tokens, targets) / float64(cfg.Replicas)
 
 			if cfg.Compress != nil {
-				bucket := nn.NewMat(bucketRows, bucketCols)
-				off := 0
-				for _, p := range bucketed {
-					copy(bucket.V[off:], p.G.V)
-					off += len(p.G.V)
-				}
-				cb, bits, err := cfg.Compress(r, bucket)
+				cb, bits, err := cfg.Compress(r, bb.gather())
 				if err != nil {
 					return nil, err
 				}
-				off = 0
-				for _, p := range bucketed {
-					copy(p.G.V, cb.V[off:off+len(p.G.V)])
-					off += len(p.G.V)
-				}
+				bb.scatter(cb)
 				bitsSum += bits * float64(total)
 				valsSum += float64(total)
 			} else {
@@ -114,10 +99,7 @@ func RunDataParallel(m *nn.Transformer, corpus *data.Corpus, opt nn.Optimizer,
 			onStep(step)
 		}
 
-		if lossEMA == 0 {
-			lossEMA = stepLoss
-		}
-		lossEMA = 0.9*lossEMA + 0.1*stepLoss
+		lossEMA = emaUpdate(step, lossEMA, stepLoss)
 		pt := CurvePoint{Step: step, Loss: lossEMA}
 		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
 			toks, tgts := corpus.ValidBatches(cfg.EvalBatches, 4, m.Cfg.SeqLen)
@@ -137,4 +119,61 @@ func RunDataParallel(m *nn.Transformer, corpus *data.Corpus, opt nn.Optimizer,
 // bucket (≥8×8, 2-D).
 func isMatrixGrad(p *nn.Param) bool {
 	return p.G.R >= 8 && p.G.C >= 8
+}
+
+// emaUpdate advances the loss EMA, seeding it from the first step's loss.
+// Seeding on step==0 (not on ema==0) matters: a training run whose loss
+// legitimately crosses zero — or whose first step happens to be exactly
+// zero — must not re-seed the average forever after.
+func emaUpdate(step int, ema, loss float64) float64 {
+	if step == 0 {
+		return loss
+	}
+	return 0.9*ema + 0.1*loss
+}
+
+// bucketBuffer owns the reusable gradient bucket: the flattened
+// concatenation of every ≥8×8 weight-matrix gradient, reshaped to
+// bucketCols wide. gather and scatter are allocation-free in steady state.
+type bucketBuffer struct {
+	mat      *nn.Mat
+	bucketed []*nn.Param
+	total    int // live values; mat.V[total:] is zero padding
+}
+
+func newBucketBuffer(params []*nn.Param) *bucketBuffer {
+	bb := &bucketBuffer{}
+	for _, p := range params {
+		if isMatrixGrad(p) {
+			bb.bucketed = append(bb.bucketed, p)
+			bb.total += len(p.G.V)
+		}
+	}
+	rows := (bb.total + bucketCols - 1) / bucketCols
+	bb.mat = nn.NewMat(maxInt(rows, 1), bucketCols)
+	return bb
+}
+
+// gather fills the bucket from the current gradients and returns it. The
+// padding tail is re-zeroed in case a caller handed the bucket itself back
+// through scatter.
+func (bb *bucketBuffer) gather() *nn.Mat {
+	off := 0
+	for _, p := range bb.bucketed {
+		copy(bb.mat.V[off:], p.G.V)
+		off += len(p.G.V)
+	}
+	for i := bb.total; i < len(bb.mat.V); i++ {
+		bb.mat.V[i] = 0
+	}
+	return bb.mat
+}
+
+// scatter copies a (possibly compressed) bucket back into the gradients.
+func (bb *bucketBuffer) scatter(bucket *nn.Mat) {
+	off := 0
+	for _, p := range bb.bucketed {
+		copy(p.G.V, bucket.V[off:off+len(p.G.V)])
+		off += len(p.G.V)
+	}
 }

@@ -116,10 +116,7 @@ func RunPipeline(m *nn.Transformer, corpus *data.Corpus, opt nn.Optimizer,
 		}
 		opt.Step(m.Params())
 
-		if lossEMA == 0 {
-			lossEMA = stepLoss
-		}
-		lossEMA = 0.9*lossEMA + 0.1*stepLoss
+		lossEMA = emaUpdate(step, lossEMA, stepLoss)
 		pt := CurvePoint{Step: step, Loss: lossEMA}
 		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
 			toks, tgts := corpus.ValidBatches(cfg.EvalBatches, 4, m.Cfg.SeqLen)
